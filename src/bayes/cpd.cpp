@@ -1,0 +1,150 @@
+#include "bayes/cpd.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace slj::bayes {
+namespace {
+
+std::size_t config_count(const std::vector<int>& cards) {
+  std::size_t n = 1;
+  for (const int c : cards) {
+    if (c < 1) throw std::invalid_argument("cardinality must be >= 1");
+    n *= static_cast<std::size_t>(c);
+  }
+  return n;
+}
+
+std::size_t mixed_radix_index(std::span<const int> states, const std::vector<int>& cards) {
+  if (states.size() != cards.size()) {
+    throw std::invalid_argument("parent state count mismatch");
+  }
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    if (states[i] < 0 || states[i] >= cards[i]) {
+      throw std::out_of_range("parent state out of range");
+    }
+    idx = idx * static_cast<std::size_t>(cards[i]) + static_cast<std::size_t>(states[i]);
+  }
+  return idx;
+}
+
+}  // namespace
+
+TabularCpd::TabularCpd(int child_cardinality, std::vector<int> parent_cardinalities, double alpha)
+    : child_card_(child_cardinality), parent_cards_(std::move(parent_cardinalities)), alpha_(alpha) {
+  if (child_card_ < 1) throw std::invalid_argument("child cardinality must be >= 1");
+  if (alpha_ < 0.0) throw std::invalid_argument("alpha must be >= 0");
+  const std::size_t rows = config_count(parent_cards_);
+  counts_.assign(rows * static_cast<std::size_t>(child_card_), 0.0);
+  row_total_.assign(rows, 0.0);
+}
+
+std::size_t TabularCpd::row_index(std::span<const int> parent_states) const {
+  return mixed_radix_index(parent_states, parent_cards_);
+}
+
+std::size_t TabularCpd::cell_index(int child_state, std::span<const int> parent_states) const {
+  if (child_state < 0 || child_state >= child_card_) {
+    throw std::out_of_range("child state out of range");
+  }
+  return row_index(parent_states) * static_cast<std::size_t>(child_card_) +
+         static_cast<std::size_t>(child_state);
+}
+
+void TabularCpd::observe(int child_state, std::span<const int> parent_states, double weight) {
+  counts_[cell_index(child_state, parent_states)] += weight;
+  row_total_[row_index(parent_states)] += weight;
+  total_weight_ += weight;
+}
+
+void TabularCpd::load_counts(std::vector<double> counts) {
+  if (counts.size() != counts_.size()) {
+    throw std::invalid_argument("load_counts: size mismatch");
+  }
+  for (const double c : counts) {
+    if (c < 0.0) throw std::invalid_argument("load_counts: negative count");
+  }
+  counts_ = std::move(counts);
+  total_weight_ = 0.0;
+  for (std::size_t r = 0; r < row_total_.size(); ++r) {
+    double row = 0.0;
+    for (int c = 0; c < child_card_; ++c) {
+      row += counts_[r * static_cast<std::size_t>(child_card_) + static_cast<std::size_t>(c)];
+    }
+    row_total_[r] = row;
+    total_weight_ += row;
+  }
+}
+
+void TabularCpd::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  std::fill(row_total_.begin(), row_total_.end(), 0.0);
+  total_weight_ = 0.0;
+}
+
+double TabularCpd::prob(int child_state, std::span<const int> parent_states) const {
+  const std::size_t cell = cell_index(child_state, parent_states);
+  const double row = row_total_[row_index(parent_states)];
+  const double numer = counts_[cell] + alpha_;
+  const double denom = row + alpha_ * child_card_;
+  if (denom <= 0.0) {
+    // alpha = 0 and no data: fall back to uniform rather than 0/0.
+    return 1.0 / child_card_;
+  }
+  return numer / denom;
+}
+
+double TabularCpd::count(int child_state, std::span<const int> parent_states) const {
+  return counts_[cell_index(child_state, parent_states)];
+}
+
+DeterministicCpd::DeterministicCpd(int child_cardinality, std::vector<int> parent_cardinalities,
+                                   std::function<int(std::span<const int>)> fn)
+    : child_card_(child_cardinality),
+      parent_cards_(std::move(parent_cardinalities)),
+      fn_(std::move(fn)) {
+  if (child_card_ < 1) throw std::invalid_argument("child cardinality must be >= 1");
+  if (!fn_) throw std::invalid_argument("deterministic CPD needs a function");
+}
+
+double DeterministicCpd::prob(int child_state, std::span<const int> parent_states) const {
+  if (parent_states.size() != parent_cards_.size()) {
+    throw std::invalid_argument("parent state count mismatch");
+  }
+  const int value = fn_(parent_states);
+  return child_state == value ? 1.0 : 0.0;
+}
+
+FixedCpd::FixedCpd(int child_cardinality, std::vector<int> parent_cardinalities,
+                   std::vector<double> table)
+    : child_card_(child_cardinality),
+      parent_cards_(std::move(parent_cardinalities)),
+      table_(std::move(table)) {
+  const std::size_t rows = config_count(parent_cards_);
+  if (table_.size() != rows * static_cast<std::size_t>(child_card_)) {
+    throw std::invalid_argument("FixedCpd table size mismatch");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < child_card_; ++c) {
+      const double p = table_[r * static_cast<std::size_t>(child_card_) + c];
+      if (p < 0.0) throw std::invalid_argument("FixedCpd has negative probability");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument("FixedCpd row does not sum to 1");
+    }
+  }
+}
+
+double FixedCpd::prob(int child_state, std::span<const int> parent_states) const {
+  if (child_state < 0 || child_state >= child_card_) {
+    throw std::out_of_range("child state out of range");
+  }
+  const std::size_t row = mixed_radix_index(parent_states, parent_cards_);
+  return table_[row * static_cast<std::size_t>(child_card_) + static_cast<std::size_t>(child_state)];
+}
+
+}  // namespace slj::bayes

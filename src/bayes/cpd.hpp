@@ -1,0 +1,112 @@
+// Conditional probability distributions for discrete Bayesian networks.
+//
+// The paper's networks (Fig. 7) are small and discrete; we hand-roll the
+// machinery: a tabular CPD learned by Laplace-smoothed counting
+// ("quantitative training" in the paper's terms), plus a deterministic CPD
+// used for the observed area nodes whose value is a function of the hidden
+// body-part nodes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace slj::bayes {
+
+/// Interface: P(child = state | parents = parent_states).
+class Cpd {
+ public:
+  virtual ~Cpd() = default;
+
+  virtual int child_cardinality() const = 0;
+  virtual const std::vector<int>& parent_cardinalities() const = 0;
+
+  virtual double prob(int child_state, std::span<const int> parent_states) const = 0;
+};
+
+/// Dense table over parent configurations, trained by counting with
+/// additive (Laplace) smoothing `alpha`. Before any observation every
+/// distribution is uniform.
+class TabularCpd : public Cpd {
+ public:
+  TabularCpd(int child_cardinality, std::vector<int> parent_cardinalities, double alpha = 1.0);
+
+  int child_cardinality() const override { return child_card_; }
+  const std::vector<int>& parent_cardinalities() const override { return parent_cards_; }
+
+  /// Accumulates one (weighted) observation.
+  void observe(int child_state, std::span<const int> parent_states, double weight = 1.0);
+
+  /// Resets all counts.
+  void clear();
+
+  double prob(int child_state, std::span<const int> parent_states) const override;
+
+  /// Raw count for tests and diagnostics.
+  double count(int child_state, std::span<const int> parent_states) const;
+
+  /// Total observations accumulated (sum of weights).
+  double total_weight() const { return total_weight_; }
+
+  double alpha() const { return alpha_; }
+
+  /// Number of parent configurations (rows).
+  std::size_t row_count() const { return row_total_.size(); }
+
+  /// Raw count table, row-major ([row * child_card + child]) — for
+  /// serialization and diagnostics.
+  const std::vector<double>& raw_counts() const { return counts_; }
+
+  /// Replaces the count table (same layout as raw_counts()); row totals and
+  /// the total weight are recomputed. Throws on size mismatch.
+  void load_counts(std::vector<double> counts);
+
+ private:
+  std::size_t row_index(std::span<const int> parent_states) const;
+  std::size_t cell_index(int child_state, std::span<const int> parent_states) const;
+
+  int child_card_;
+  std::vector<int> parent_cards_;
+  double alpha_;
+  std::vector<double> counts_;     // [row * child_card_ + child]
+  std::vector<double> row_total_;  // [row]
+  double total_weight_ = 0.0;
+};
+
+/// child = fn(parents), probability 1 on the function value, 0 elsewhere.
+class DeterministicCpd : public Cpd {
+ public:
+  DeterministicCpd(int child_cardinality, std::vector<int> parent_cardinalities,
+                   std::function<int(std::span<const int>)> fn);
+
+  int child_cardinality() const override { return child_card_; }
+  const std::vector<int>& parent_cardinalities() const override { return parent_cards_; }
+
+  double prob(int child_state, std::span<const int> parent_states) const override;
+
+ private:
+  int child_card_;
+  std::vector<int> parent_cards_;
+  std::function<int(std::span<const int>)> fn_;
+};
+
+/// Explicitly specified table (for priors or hand-built examples). Rows are
+/// parent configurations in row-major parent order; each row must sum to 1.
+class FixedCpd : public Cpd {
+ public:
+  FixedCpd(int child_cardinality, std::vector<int> parent_cardinalities,
+           std::vector<double> table);
+
+  int child_cardinality() const override { return child_card_; }
+  const std::vector<int>& parent_cardinalities() const override { return parent_cards_; }
+
+  double prob(int child_state, std::span<const int> parent_states) const override;
+
+ private:
+  int child_card_;
+  std::vector<int> parent_cards_;
+  std::vector<double> table_;
+};
+
+}  // namespace slj::bayes

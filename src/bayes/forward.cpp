@@ -1,0 +1,84 @@
+#include "bayes/forward.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slj::bayes {
+namespace {
+
+void check_distribution(std::span<const double> dist, const char* what) {
+  double sum = 0.0;
+  for (const double p : dist) {
+    if (p < 0.0) throw std::invalid_argument(std::string(what) + " has negative probability");
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument(std::string(what) + " does not sum to 1");
+  }
+}
+
+}  // namespace
+
+ForwardFilter::ForwardFilter(std::vector<std::vector<double>> transition,
+                             std::vector<double> prior)
+    : transition_(std::move(transition)), prior_(std::move(prior)), belief_(prior_) {
+  if (prior_.empty()) throw std::invalid_argument("empty prior");
+  check_distribution(prior_, "prior");
+  if (transition_.size() != prior_.size()) {
+    throw std::invalid_argument("transition row count != state count");
+  }
+  for (const auto& row : transition_) {
+    if (row.size() != prior_.size()) {
+      throw std::invalid_argument("transition row size != state count");
+    }
+    check_distribution(row, "transition row");
+  }
+}
+
+void ForwardFilter::reset() { belief_ = prior_; }
+
+const std::vector<double>& ForwardFilter::step(std::span<const double> likelihood) {
+  if (likelihood.size() != belief_.size()) {
+    throw std::invalid_argument("likelihood size != state count");
+  }
+  const std::size_t n = belief_.size();
+  std::vector<double> predicted(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b = belief_[i];
+    if (b == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      predicted[j] += b * transition_[i][j];
+    }
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    predicted[j] *= likelihood[j];
+    total += predicted[j];
+  }
+  if (total > 0.0) {
+    for (double& p : predicted) p /= total;
+    belief_ = std::move(predicted);
+  } else {
+    // Degenerate observation: keep the prediction (renormalized without
+    // likelihood) so the filter never collapses to NaN.
+    std::vector<double> fallback(n, 0.0);
+    double ft = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) fallback[j] += belief_[i] * transition_[i][j];
+    }
+    for (const double p : fallback) ft += p;
+    if (ft > 0.0) {
+      for (double& p : fallback) p /= ft;
+      belief_ = std::move(fallback);
+    }
+  }
+  return belief_;
+}
+
+int ForwardFilter::map_state() const {
+  return static_cast<int>(
+      std::max_element(belief_.begin(), belief_.end()) - belief_.begin());
+}
+
+}  // namespace slj::bayes

@@ -1,0 +1,40 @@
+// Discrete forward filtering over a Markov chain — the temporal backbone of
+// the DBN (Fig. 7b). The paper propagates a *point estimate* of the
+// previous pose; this class implements full belief propagation, used by the
+// classifier's `TemporalMode::kFiltering` extension and compared against
+// the paper's point-estimate rule in the ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace slj::bayes {
+
+class ForwardFilter {
+ public:
+  /// `transition[i][j]` = P(state_t = j | state_{t-1} = i); rows must be
+  /// distributions. `prior` is the t=0 belief.
+  ForwardFilter(std::vector<std::vector<double>> transition, std::vector<double> prior);
+
+  std::size_t state_count() const { return prior_.size(); }
+
+  /// Resets the belief to the prior.
+  void reset();
+
+  /// Advances one step: predict with the transition model, weight by the
+  /// per-state observation likelihood, renormalize. Returns the posterior
+  /// belief. A zero-likelihood-everywhere observation keeps the prediction.
+  const std::vector<double>& step(std::span<const double> likelihood);
+
+  const std::vector<double>& belief() const { return belief_; }
+
+  /// Index of the most probable state.
+  int map_state() const;
+
+ private:
+  std::vector<std::vector<double>> transition_;
+  std::vector<double> prior_;
+  std::vector<double> belief_;
+};
+
+}  // namespace slj::bayes

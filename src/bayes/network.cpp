@@ -1,0 +1,157 @@
+#include "bayes/network.hpp"
+
+#include <stdexcept>
+
+namespace slj::bayes {
+
+int Network::add_node(std::string name, int cardinality, std::vector<int> parents,
+                      std::shared_ptr<Cpd> cpd) {
+  if (cardinality < 1) throw std::invalid_argument("node cardinality must be >= 1");
+  if (!cpd) throw std::invalid_argument("node needs a CPD");
+  if (cpd->child_cardinality() != cardinality) {
+    throw std::invalid_argument("CPD child cardinality mismatch for node " + name);
+  }
+  const std::vector<int>& cpd_parents = cpd->parent_cardinalities();
+  if (cpd_parents.size() != parents.size()) {
+    throw std::invalid_argument("CPD parent count mismatch for node " + name);
+  }
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    const int p = parents[i];
+    if (p < 0 || p >= node_count()) {
+      throw std::invalid_argument("parent must be added before child (node " + name + ")");
+    }
+    if (cards_[static_cast<std::size_t>(p)] != cpd_parents[i]) {
+      throw std::invalid_argument("CPD parent cardinality mismatch for node " + name);
+    }
+  }
+  if (find(name).has_value()) {
+    throw std::invalid_argument("duplicate node name " + name);
+  }
+  names_.push_back(std::move(name));
+  cards_.push_back(cardinality);
+  parents_.push_back(std::move(parents));
+  cpds_.push_back(std::move(cpd));
+  return node_count() - 1;
+}
+
+std::optional<int> Network::find(const std::string& name) const {
+  for (int i = 0; i < node_count(); ++i) {
+    if (names_[static_cast<std::size_t>(i)] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Network::parent_states_of(int id, std::span<const int> assignment) const {
+  const std::vector<int>& ps = parents_[static_cast<std::size_t>(id)];
+  std::vector<int> states;
+  states.reserve(ps.size());
+  for (const int p : ps) states.push_back(assignment[static_cast<std::size_t>(p)]);
+  return states;
+}
+
+double Network::joint_prob(std::span<const int> full_assignment) const {
+  if (static_cast<int>(full_assignment.size()) != node_count()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  double p = 1.0;
+  for (int id = 0; id < node_count(); ++id) {
+    const int state = full_assignment[static_cast<std::size_t>(id)];
+    if (state == kUnobserved) throw std::invalid_argument("joint_prob needs a full assignment");
+    p *= cpds_[static_cast<std::size_t>(id)]->prob(state, parent_states_of(id, full_assignment));
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+double Network::evidence_prob(const Assignment& evidence) const {
+  if (static_cast<int>(evidence.size()) != node_count()) {
+    throw std::invalid_argument("evidence size mismatch");
+  }
+  // Enumeration in topological order (== insertion order): recursively fix
+  // each unobserved node and sum, multiplying CPD factors as we go.
+  Assignment working = evidence;
+  // Recursive lambda over node index.
+  auto recurse = [&](auto&& self, int id) -> double {
+    if (id == node_count()) return 1.0;
+    const std::vector<int> parent_states = parent_states_of(id, working);
+    const int observed = evidence[static_cast<std::size_t>(id)];
+    if (observed != kUnobserved) {
+      const double p =
+          cpds_[static_cast<std::size_t>(id)]->prob(observed, parent_states);
+      if (p == 0.0) return 0.0;
+      working[static_cast<std::size_t>(id)] = observed;
+      return p * self(self, id + 1);
+    }
+    double total = 0.0;
+    for (int s = 0; s < cards_[static_cast<std::size_t>(id)]; ++s) {
+      const double p = cpds_[static_cast<std::size_t>(id)]->prob(s, parent_states);
+      if (p == 0.0) continue;
+      working[static_cast<std::size_t>(id)] = s;
+      total += p * self(self, id + 1);
+    }
+    working[static_cast<std::size_t>(id)] = kUnobserved;
+    return total;
+  };
+  return recurse(recurse, 0);
+}
+
+std::vector<double> Network::posterior(int query, Assignment evidence) const {
+  if (query < 0 || query >= node_count()) throw std::out_of_range("query node out of range");
+  if (static_cast<int>(evidence.size()) != node_count()) {
+    throw std::invalid_argument("evidence size mismatch");
+  }
+  const int card = cards_[static_cast<std::size_t>(query)];
+  std::vector<double> post(static_cast<std::size_t>(card), 0.0);
+  double total = 0.0;
+  for (int s = 0; s < card; ++s) {
+    evidence[static_cast<std::size_t>(query)] = s;
+    const double p = evidence_prob(evidence);
+    post[static_cast<std::size_t>(s)] = p;
+    total += p;
+  }
+  if (total <= 0.0) {
+    // Evidence impossible under the model: fall back to uniform.
+    for (double& p : post) p = 1.0 / card;
+    return post;
+  }
+  for (double& p : post) p /= total;
+  return post;
+}
+
+void Network::observe(std::span<const int> full_assignment, double weight) {
+  if (static_cast<int>(full_assignment.size()) != node_count()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  for (int id = 0; id < node_count(); ++id) {
+    auto* tab = dynamic_cast<TabularCpd*>(cpds_[static_cast<std::size_t>(id)].get());
+    if (tab == nullptr) continue;  // deterministic / fixed nodes are not trained
+    const int state = full_assignment[static_cast<std::size_t>(id)];
+    if (state == kUnobserved) throw std::invalid_argument("observe needs a full assignment");
+    tab->observe(state, parent_states_of(id, full_assignment), weight);
+  }
+}
+
+void Network::fit(std::span<const Assignment> rows) {
+  for (int id = 0; id < node_count(); ++id) {
+    auto* tab = dynamic_cast<TabularCpd*>(cpds_[static_cast<std::size_t>(id)].get());
+    if (tab != nullptr) tab->clear();
+  }
+  for (const Assignment& row : rows) observe(row);
+}
+
+std::string Network::to_dot(const std::string& graph_name) const {
+  std::string dot = "digraph " + graph_name + " {\n  rankdir=TB;\n";
+  for (int id = 0; id < node_count(); ++id) {
+    dot += "  n" + std::to_string(id) + " [label=\"" + names_[static_cast<std::size_t>(id)] +
+           " (" + std::to_string(cards_[static_cast<std::size_t>(id)]) + ")\"];\n";
+  }
+  for (int id = 0; id < node_count(); ++id) {
+    for (const int p : parents_[static_cast<std::size_t>(id)]) {
+      dot += "  n" + std::to_string(p) + " -> n" + std::to_string(id) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace slj::bayes

@@ -1,0 +1,71 @@
+// Discrete Bayesian network: directed acyclic graph of discrete variables
+// with one CPD per node, exact inference by enumeration. Networks in this
+// system are small (the per-pose BN of Fig. 7 has 14 nodes), so enumeration
+// over the unobserved variables is the reference-exact choice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bayes/cpd.hpp"
+
+namespace slj::bayes {
+
+/// Partial assignment: state per node id, kUnobserved where unknown.
+inline constexpr int kUnobserved = -1;
+using Assignment = std::vector<int>;
+
+class Network {
+ public:
+  /// Adds a node. Parents must already exist (this enforces acyclicity by
+  /// construction and gives a ready topological order). The CPD's parent
+  /// cardinalities must match the parents' cardinalities in order.
+  int add_node(std::string name, int cardinality, std::vector<int> parents,
+               std::shared_ptr<Cpd> cpd);
+
+  int node_count() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int id) const { return names_[static_cast<std::size_t>(id)]; }
+  int cardinality(int id) const { return cards_[static_cast<std::size_t>(id)]; }
+  const std::vector<int>& parents(int id) const { return parents_[static_cast<std::size_t>(id)]; }
+  const Cpd& cpd(int id) const { return *cpds_[static_cast<std::size_t>(id)]; }
+  Cpd& cpd(int id) { return *cpds_[static_cast<std::size_t>(id)]; }
+
+  /// Node id by name; nullopt if absent.
+  std::optional<int> find(const std::string& name) const;
+
+  /// Probability of one complete assignment (every node observed).
+  double joint_prob(std::span<const int> full_assignment) const;
+
+  /// P(evidence): marginal probability of a partial assignment, summing
+  /// over all unobserved nodes. Cost is the product of the unobserved
+  /// cardinalities.
+  double evidence_prob(const Assignment& evidence) const;
+
+  /// Posterior distribution of `query` given evidence (evidence for the
+  /// query node itself is ignored). Returns a normalized vector, uniform if
+  /// the evidence has probability zero.
+  std::vector<double> posterior(int query, Assignment evidence) const;
+
+  /// Trains every TabularCpd node from complete data rows (each row: state
+  /// per node). Rows must be fully observed.
+  void fit(std::span<const Assignment> rows);
+
+  /// Accumulates a single fully-observed row into the tabular CPDs.
+  void observe(std::span<const int> full_assignment, double weight = 1.0);
+
+  /// GraphViz structure dump (Fig. 7-style).
+  std::string to_dot(const std::string& graph_name = "bn") const;
+
+ private:
+  std::vector<int> parent_states_of(int id, std::span<const int> assignment) const;
+
+  std::vector<std::string> names_;
+  std::vector<int> cards_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::shared_ptr<Cpd>> cpds_;
+};
+
+}  // namespace slj::bayes

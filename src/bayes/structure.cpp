@@ -1,0 +1,145 @@
+#include "bayes/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace slj::bayes {
+namespace {
+
+void validate(std::span<const TanSample> samples, const std::vector<int>& feature_cards,
+              int class_card) {
+  if (class_card < 1) throw std::invalid_argument("class cardinality must be >= 1");
+  for (const TanSample& s : samples) {
+    if (s.features.size() != feature_cards.size()) {
+      throw std::invalid_argument("sample feature count mismatch");
+    }
+    if (s.class_label < 0 || s.class_label >= class_card) {
+      throw std::invalid_argument("class label out of range");
+    }
+    for (std::size_t f = 0; f < s.features.size(); ++f) {
+      if (s.features[f] < 0 || s.features[f] >= feature_cards[f]) {
+        throw std::invalid_argument("feature value out of range");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double conditional_mutual_information(std::span<const TanSample> samples, int i, int j,
+                                      const std::vector<int>& feature_cards, int class_card,
+                                      double alpha) {
+  const int ci = feature_cards[static_cast<std::size_t>(i)];
+  const int cj = feature_cards[static_cast<std::size_t>(j)];
+  // Smoothed joint counts n(xi, xj, c).
+  std::vector<double> joint(static_cast<std::size_t>(ci) * cj * class_card, alpha);
+  double total = alpha * static_cast<double>(joint.size());
+  for (const TanSample& s : samples) {
+    const int xi = s.features[static_cast<std::size_t>(i)];
+    const int xj = s.features[static_cast<std::size_t>(j)];
+    joint[(static_cast<std::size_t>(s.class_label) * ci + static_cast<std::size_t>(xi)) * cj +
+          static_cast<std::size_t>(xj)] += 1.0;
+    total += 1.0;
+  }
+
+  double mi = 0.0;
+  for (int c = 0; c < class_card; ++c) {
+    // Marginals within class c.
+    double pc = 0.0;
+    std::vector<double> pi(static_cast<std::size_t>(ci), 0.0);
+    std::vector<double> pj(static_cast<std::size_t>(cj), 0.0);
+    for (int a = 0; a < ci; ++a) {
+      for (int b = 0; b < cj; ++b) {
+        const double p =
+            joint[(static_cast<std::size_t>(c) * ci + static_cast<std::size_t>(a)) * cj +
+                  static_cast<std::size_t>(b)] /
+            total;
+        pc += p;
+        pi[static_cast<std::size_t>(a)] += p;
+        pj[static_cast<std::size_t>(b)] += p;
+      }
+    }
+    if (pc <= 0.0) continue;
+    for (int a = 0; a < ci; ++a) {
+      for (int b = 0; b < cj; ++b) {
+        const double pabc =
+            joint[(static_cast<std::size_t>(c) * ci + static_cast<std::size_t>(a)) * cj +
+                  static_cast<std::size_t>(b)] /
+            total;
+        if (pabc <= 0.0) continue;
+        // I = sum p(a,b,c) log [ p(a,b|c) / (p(a|c) p(b|c)) ]
+        const double ratio = (pabc / pc) / ((pi[static_cast<std::size_t>(a)] / pc) *
+                                            (pj[static_cast<std::size_t>(b)] / pc));
+        mi += pabc * std::log(ratio);
+      }
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+std::vector<int> learn_tan_structure(std::span<const TanSample> samples,
+                                     const std::vector<int>& feature_cards, int class_card,
+                                     double alpha) {
+  validate(samples, feature_cards, class_card);
+  const int n = static_cast<int>(feature_cards.size());
+  std::vector<int> parents(static_cast<std::size_t>(n), -1);
+  if (n <= 1 || samples.empty()) return parents;
+
+  // All pairwise class-conditional MIs.
+  struct WeightedEdge {
+    double mi;
+    int a, b;
+  };
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back(
+          {conditional_mutual_information(samples, i, j, feature_cards, class_card, alpha), i,
+           j});
+    }
+  }
+  // Maximum spanning tree (Kruskal, ties by index for determinism).
+  std::sort(edges.begin(), edges.end(), [](const WeightedEdge& l, const WeightedEdge& r) {
+    if (l.mi != r.mi) return l.mi > r.mi;
+    if (l.a != r.a) return l.a < r.a;
+    return l.b < r.b;
+  });
+  std::vector<int> uf(static_cast<std::size_t>(n));
+  std::iota(uf.begin(), uf.end(), 0);
+  const auto find = [&](int v) {
+    while (uf[static_cast<std::size_t>(v)] != v) {
+      uf[static_cast<std::size_t>(v)] = uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(v)])];
+      v = uf[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  for (const WeightedEdge& e : edges) {
+    const int ra = find(e.a);
+    const int rb = find(e.b);
+    if (ra == rb) continue;
+    uf[static_cast<std::size_t>(ra)] = rb;
+    adjacency[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adjacency[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+
+  // Root the tree at feature 0; parents point toward the root.
+  std::vector<int> stack{0};
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  visited[0] = true;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (const int v : adjacency[static_cast<std::size_t>(u)]) {
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      visited[static_cast<std::size_t>(v)] = true;
+      parents[static_cast<std::size_t>(v)] = u;
+      stack.push_back(v);
+    }
+  }
+  return parents;
+}
+
+}  // namespace slj::bayes

@@ -1,0 +1,35 @@
+// Qualitative training — learning the observation network's structure from
+// data. The paper distinguishes "qualitative training [which] concerns the
+// network structure of the model and quantitative training [which]
+// determines the specific conditional probabilities" (Sec. 4) but fixes its
+// structure by hand; this module implements the classic data-driven
+// counterpart: Tree-Augmented Naive Bayes (Friedman et al.), a Chow–Liu
+// maximum spanning tree over class-conditional mutual information that
+// allows each feature one extra feature parent.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace slj::bayes {
+
+/// One training sample for structure learning.
+struct TanSample {
+  int class_label = 0;
+  std::vector<int> features;
+};
+
+/// Class-conditional mutual information I(X_i ; X_j | C) estimated from the
+/// samples with add-alpha smoothing. Symmetric, non-negative.
+double conditional_mutual_information(std::span<const TanSample> samples, int i, int j,
+                                      const std::vector<int>& feature_cards, int class_card,
+                                      double alpha = 0.5);
+
+/// Learns the TAN tree: returns parent feature index per feature (-1 for
+/// the tree root, which keeps only the class parent). Ties and isolated
+/// features degrade gracefully to -1. Throws on inconsistent inputs.
+std::vector<int> learn_tan_structure(std::span<const TanSample> samples,
+                                     const std::vector<int>& feature_cards, int class_card,
+                                     double alpha = 0.5);
+
+}  // namespace slj::bayes

@@ -1,0 +1,94 @@
+#include "bayes/viterbi.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace slj::bayes {
+
+std::vector<int> viterbi_decode(
+    int num_states, int steps, const std::function<double(int)>& log_prior,
+    const std::function<double(int, int, int)>& log_transition,
+    const std::function<double(int, int)>& log_emission) {
+  std::vector<int> path;
+  if (steps <= 0 || num_states <= 0) return path;
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const auto idx = [num_states](int t, int s) {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(num_states) +
+           static_cast<std::size_t>(s);
+  };
+
+  std::vector<double> score(static_cast<std::size_t>(steps) * num_states, kNegInf);
+  std::vector<int> back(static_cast<std::size_t>(steps) * num_states, -1);
+
+  for (int s = 0; s < num_states; ++s) {
+    score[idx(0, s)] = log_prior(s) + log_emission(0, s);
+  }
+
+  for (int t = 1; t < steps; ++t) {
+    for (int to = 0; to < num_states; ++to) {
+      double best = kNegInf;
+      int best_from = -1;
+      for (int from = 0; from < num_states; ++from) {
+        const double prev = score[idx(t - 1, from)];
+        if (prev == kNegInf) continue;
+        const double cand = prev + log_transition(t, from, to);
+        if (cand > best) {
+          best = cand;
+          best_from = from;
+        }
+      }
+      if (best_from >= 0) {
+        score[idx(t, to)] = best + log_emission(t, to);
+        back[idx(t, to)] = best_from;
+      }
+    }
+    // Degenerate step: every state unreachable (evidence contradicts the
+    // constraints). Restart the chain at this step rather than failing.
+    bool any = false;
+    for (int s = 0; s < num_states; ++s) {
+      if (score[idx(t, s)] != kNegInf) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      for (int s = 0; s < num_states; ++s) {
+        score[idx(t, s)] = log_emission(t, s);
+        back[idx(t, s)] = -1;
+      }
+    }
+  }
+
+  // Backtrack from the best terminal state.
+  int cur = 0;
+  double best_final = kNegInf;
+  for (int s = 0; s < num_states; ++s) {
+    if (score[idx(steps - 1, s)] > best_final) {
+      best_final = score[idx(steps - 1, s)];
+      cur = s;
+    }
+  }
+  path.assign(static_cast<std::size_t>(steps), 0);
+  for (int t = steps - 1; t >= 0; --t) {
+    path[static_cast<std::size_t>(t)] = cur;
+    const int prev = back[idx(t, cur)];
+    if (t > 0) {
+      // A restart (-1) re-anchors on the best state of the previous step.
+      if (prev >= 0) {
+        cur = prev;
+      } else {
+        double best = kNegInf;
+        for (int s = 0; s < num_states; ++s) {
+          if (score[idx(t - 1, s)] > best) {
+            best = score[idx(t - 1, s)];
+            cur = s;
+          }
+        }
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace slj::bayes

@@ -1,0 +1,32 @@
+// Viterbi decoding for discrete state chains — the offline counterpart of
+// ForwardFilter. The paper's classifier commits to a point estimate per
+// frame and lets errors propagate ("a misclassified frame will still affect
+// the classification of its subsequent frames"); max-product decoding over
+// the whole clip is the natural refinement the paper's Sec. 6 asks for.
+//
+// The chain is specified functionally so callers can impose structural
+// constraints (the jump's monotone stage discipline) by returning -inf.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace slj::bayes {
+
+/// Log-space Viterbi.
+///
+/// `num_states`     — size of the state space.
+/// `steps`          — sequence length T.
+/// `log_prior`      — log P(s_0) + log-likelihood of step 0 in state s.
+/// `log_transition` — (t, from, to) → log P(s_t = to | s_{t-1} = from);
+///                    may depend on t so per-frame evidence can gate moves.
+/// `log_emission`   — (t, s) → log-likelihood of the observation at t in s.
+///
+/// Returns the most probable state path (empty if steps == 0). States with
+/// no finite-probability path fall back to the best available predecessor.
+std::vector<int> viterbi_decode(
+    int num_states, int steps, const std::function<double(int)>& log_prior,
+    const std::function<double(int, int, int)>& log_transition,
+    const std::function<double(int, int)>& log_emission);
+
+}  // namespace slj::bayes

@@ -1,0 +1,99 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+
+namespace slj::core {
+
+ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
+                             const synth::Clip& clip) {
+  ClipEvaluation eval;
+  pipeline.set_background(clip.background);
+  pose::PoseDbnClassifier::SequenceState state = classifier.initial_state();
+  GroundMonitor ground;
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    const FrameObservation obs = pipeline.process(clip.frames[i]);
+    const bool airborne = ground.airborne(obs.bottom_row);
+    const pose::FrameResult res = classifier.classify(obs.candidates, airborne, state);
+    const pose::PoseId truth = clip.truth[i].pose;
+    ++eval.frames;
+    if (res.pose == truth) ++eval.correct;
+    if (res.pose == pose::PoseId::kUnknown) ++eval.unknown;
+    if (res.pose != pose::PoseId::kUnknown && pose::stage_of(res.pose) == clip.truth[i].stage) {
+      ++eval.correct_stage;
+    }
+    eval.results.push_back(res);
+    eval.truth.push_back(truth);
+  }
+  return eval;
+}
+
+std::size_t DatasetEvaluation::total_frames() const {
+  std::size_t n = 0;
+  for (const ClipEvaluation& c : clips) n += c.frames;
+  return n;
+}
+
+std::size_t DatasetEvaluation::total_correct() const {
+  std::size_t n = 0;
+  for (const ClipEvaluation& c : clips) n += c.correct;
+  return n;
+}
+
+double DatasetEvaluation::overall_accuracy() const {
+  const std::size_t frames = total_frames();
+  return frames == 0 ? 0.0 : static_cast<double>(total_correct()) / frames;
+}
+
+double DatasetEvaluation::min_clip_accuracy() const {
+  double best = 1.0;
+  for (const ClipEvaluation& c : clips) best = std::min(best, c.accuracy());
+  return clips.empty() ? 0.0 : best;
+}
+
+double DatasetEvaluation::max_clip_accuracy() const {
+  double best = 0.0;
+  for (const ClipEvaluation& c : clips) best = std::max(best, c.accuracy());
+  return best;
+}
+
+DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier,
+                                   FramePipeline& pipeline,
+                                   const std::vector<synth::Clip>& clips) {
+  DatasetEvaluation eval;
+  for (const synth::Clip& clip : clips) {
+    eval.clips.push_back(evaluate_clip(classifier, pipeline, clip));
+  }
+  return eval;
+}
+
+std::vector<int> error_run_lengths(const DatasetEvaluation& eval) {
+  std::vector<int> runs;
+  for (const ClipEvaluation& clip : eval.clips) {
+    int run = 0;
+    for (std::size_t i = 0; i < clip.results.size(); ++i) {
+      const bool wrong = clip.results[i].pose != clip.truth[i];
+      if (wrong) {
+        ++run;
+      } else if (run > 0) {
+        runs.push_back(run);
+        run = 0;
+      }
+    }
+    if (run > 0) runs.push_back(run);
+  }
+  return runs;
+}
+
+ConfusionMatrix confusion_matrix(const DatasetEvaluation& eval) {
+  ConfusionMatrix m{};
+  for (const ClipEvaluation& clip : eval.clips) {
+    for (std::size_t i = 0; i < clip.results.size(); ++i) {
+      const int t = pose::index_of(clip.truth[i]);
+      const int p = pose::index_of(clip.results[i].pose);  // kUnknown -> kPoseCount
+      m[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)] += 1;
+    }
+  }
+  return m;
+}
+
+}  // namespace slj::core

@@ -1,0 +1,58 @@
+// Evaluation utilities: per-clip accuracy (the paper's Sec. 5 metric),
+// confusion statistics, and error-run analysis ("most errors in our
+// experiments occurred in consecutive frames").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "pose/classifier.hpp"
+#include "synth/dataset.hpp"
+
+namespace slj::core {
+
+struct ClipEvaluation {
+  std::size_t frames = 0;
+  std::size_t correct = 0;
+  std::size_t unknown = 0;             ///< frames classified Unknown
+  std::size_t correct_stage = 0;       ///< stage-level agreement
+  std::vector<pose::FrameResult> results;
+  std::vector<pose::PoseId> truth;
+
+  double accuracy() const { return frames == 0 ? 0.0 : static_cast<double>(correct) / frames; }
+  double stage_accuracy() const {
+    return frames == 0 ? 0.0 : static_cast<double>(correct_stage) / frames;
+  }
+};
+
+/// Runs the classifier over one clip and scores it against ground truth.
+/// An Unknown prediction counts as incorrect (the paper's accuracy treats
+/// only exact pose matches as correct).
+ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
+                             const synth::Clip& clip);
+
+struct DatasetEvaluation {
+  std::vector<ClipEvaluation> clips;
+
+  std::size_t total_frames() const;
+  std::size_t total_correct() const;
+  double overall_accuracy() const;
+  double min_clip_accuracy() const;
+  double max_clip_accuracy() const;
+};
+
+DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier,
+                                   FramePipeline& pipeline,
+                                   const std::vector<synth::Clip>& clips);
+
+/// Lengths of maximal runs of consecutive misclassified frames, pooled over
+/// clips (A6 bench: the paper's "errors occur in consecutive frames").
+std::vector<int> error_run_lengths(const DatasetEvaluation& eval);
+
+/// 22×22 confusion matrix (+1 column for Unknown) indexed
+/// [truth][predicted]; predicted Unknown uses column kPoseCount.
+using ConfusionMatrix = std::array<std::array<std::size_t, pose::kPoseCount + 1>, pose::kPoseCount>;
+ConfusionMatrix confusion_matrix(const DatasetEvaluation& eval);
+
+}  // namespace slj::core

@@ -1,0 +1,140 @@
+#include "core/faults.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace slj::core {
+namespace {
+
+using pose::PoseId;
+using pose::Stage;
+
+bool pose_in(PoseId p, std::initializer_list<PoseId> set) {
+  return std::find(set.begin(), set.end(), p) != set.end();
+}
+
+}  // namespace
+
+std::string_view rule_name(FaultRule r) {
+  switch (r) {
+    case FaultRule::kArmBackswing: return "arm backswing during preparation";
+    case FaultRule::kPreparatoryCrouch: return "deep crouch before take-off";
+    case FaultRule::kArmDriveForward: return "forward arm drive at take-off";
+    case FaultRule::kFlightLegCarry: return "leg carry (tuck/reach) during flight";
+    case FaultRule::kLandingAbsorption: return "knee bend on landing";
+    case FaultRule::kCompleteSequence: return "complete four-stage jump";
+  }
+  return "?";
+}
+
+std::string_view rule_advice(FaultRule r) {
+  switch (r) {
+    case FaultRule::kArmBackswing:
+      return "Swing both arms backward while you sink into the crouch; the backswing stores "
+             "momentum for the jump.";
+    case FaultRule::kPreparatoryCrouch:
+      return "Bend your knees to roughly a half squat before take-off; jumping from straight "
+             "legs loses most of your power.";
+    case FaultRule::kArmDriveForward:
+      return "Drive your arms forward and up as you extend; the arm swing should lead the "
+             "jump, not trail it.";
+    case FaultRule::kFlightLegCarry:
+      return "Bring your knees up and reach your legs forward while airborne so your feet land "
+             "ahead of your body.";
+    case FaultRule::kLandingAbsorption:
+      return "Land with bent knees and sink into a squat; landing stiff-legged is unsafe and "
+             "shortens the measured jump.";
+    case FaultRule::kCompleteSequence:
+      return "The clip should show preparation, take-off, flight and landing; re-record the "
+             "jump if a stage is missing.";
+  }
+  return "";
+}
+
+JumpReport detect_faults(const std::vector<pose::FrameResult>& sequence) {
+  JumpReport report;
+
+  const auto collect = [&](FaultRule rule, auto&& predicate) {
+    FaultFinding finding;
+    finding.rule = rule;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      const PoseId p = sequence[i].pose;
+      if (p != PoseId::kUnknown && predicate(p)) {
+        finding.evidence_frames.push_back(static_cast<int>(i));
+      }
+    }
+    finding.passed = !finding.evidence_frames.empty();
+    report.findings.push_back(std::move(finding));
+  };
+
+  collect(FaultRule::kArmBackswing, [](PoseId p) {
+    return pose_in(p, {PoseId::kStandHandsBackward, PoseId::kCrouchHandsBackward,
+                       PoseId::kWaistBentHandsBackward, PoseId::kTakeoffHandsBackward});
+  });
+  collect(FaultRule::kPreparatoryCrouch, [](PoseId p) {
+    return pose_in(p, {PoseId::kCrouchHandsBackward, PoseId::kCrouchHandsForward,
+                       PoseId::kTakeoffHandsBackward});
+  });
+  collect(FaultRule::kArmDriveForward, [](PoseId p) {
+    return pose_in(p, {PoseId::kExtendedHandsForward, PoseId::kExtendedHandsUp,
+                       PoseId::kTakeoffLeanForward, PoseId::kAirExtendedHandsForward});
+  });
+  collect(FaultRule::kFlightLegCarry, [](PoseId p) {
+    return pose_in(p, {PoseId::kAirTuckHandsForward, PoseId::kAirTuckHandsDown,
+                       PoseId::kAirLegsReachForward, PoseId::kAirPikeHandsDown});
+  });
+  collect(FaultRule::kLandingAbsorption, [](PoseId p) {
+    return pose_in(p, {PoseId::kTouchdownKneesBentHandsForward, PoseId::kTouchdownDeepHandsDown,
+                       PoseId::kLandedSquatHandsForward});
+  });
+
+  // Stage completeness over recognized frames.
+  {
+    FaultFinding finding;
+    finding.rule = FaultRule::kCompleteSequence;
+    std::array<bool, pose::kStageCount> seen{};
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      const PoseId p = sequence[i].pose;
+      if (p == PoseId::kUnknown) continue;
+      const int s = pose::index_of(pose::stage_of(p));
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        finding.evidence_frames.push_back(static_cast<int>(i));
+      }
+    }
+    finding.passed = std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+int JumpReport::passed_count() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const FaultFinding& f) { return f.passed; }));
+}
+
+std::string JumpReport::to_string() const {
+  std::string out;
+  out += "Jump assessment: " + std::to_string(passed_count()) + "/" +
+         std::to_string(total_count()) + " checks passed\n";
+  for (const FaultFinding& f : findings) {
+    out += "  [";
+    out += f.passed ? "PASS" : "FAIL";
+    out += "] ";
+    out += rule_name(f.rule);
+    if (f.passed) {
+      out += " (frames";
+      const int shown = std::min<std::size_t>(f.evidence_frames.size(), 4);
+      for (int i = 0; i < shown; ++i) out += " " + std::to_string(f.evidence_frames[static_cast<std::size_t>(i)]);
+      if (f.evidence_frames.size() > 4) out += " ...";
+      out += ")";
+    } else {
+      out += "\n         advice: ";
+      out += rule_advice(f.rule);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace slj::core

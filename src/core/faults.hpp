@@ -1,0 +1,52 @@
+// Movement-fault identification against the standing-long-jump standard —
+// the "scoring" part the paper's system sketch (Sec. 1) motivates: "With
+// the determined poses in all the frames, bad movements can thus be
+// identified … advices to the jumper can be given."
+//
+// Each rule checks that the pose sequence contains the movement the
+// standard requires at the right stage; a missing movement produces a
+// finding with coaching advice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pose/classifier.hpp"
+#include "pose/pose_catalog.hpp"
+
+namespace slj::core {
+
+enum class FaultRule {
+  kArmBackswing,      ///< arms must swing backward during preparation
+  kPreparatoryCrouch, ///< knees must load deeply before take-off
+  kArmDriveForward,   ///< arms must drive forward/up through take-off
+  kFlightLegCarry,    ///< knees tuck / legs reach forward during flight
+  kLandingAbsorption, ///< knees must bend on touchdown
+  kCompleteSequence,  ///< all four stages must be present
+};
+
+std::string_view rule_name(FaultRule r);
+std::string_view rule_advice(FaultRule r);
+
+struct FaultFinding {
+  FaultRule rule;
+  bool passed = false;
+  /// Frames (indices into the clip) that satisfied the rule; empty if none.
+  std::vector<int> evidence_frames;
+};
+
+struct JumpReport {
+  std::vector<FaultFinding> findings;
+
+  int passed_count() const;
+  int total_count() const { return static_cast<int>(findings.size()); }
+  bool all_passed() const { return passed_count() == total_count(); }
+
+  /// Human-readable multi-line report with advice for each failed rule.
+  std::string to_string() const;
+};
+
+/// Evaluates the fault rules over a classified pose sequence.
+JumpReport detect_faults(const std::vector<pose::FrameResult>& sequence);
+
+}  // namespace slj::core

@@ -1,0 +1,54 @@
+#include "core/pipeline.hpp"
+
+#include "imaging/morphology.hpp"
+#include "skelgraph/simplify.hpp"
+#include "thinning/zhang_suen.hpp"
+
+namespace slj::core {
+
+FramePipeline::FramePipeline(PipelineParams params)
+    : params_(params), extractor_(params.extractor), encoder_(params.num_areas) {}
+
+void FramePipeline::set_background(const RgbImage& background) {
+  extractor_.set_background(background);
+}
+
+FrameObservation FramePipeline::process(const RgbImage& frame) const {
+  return process_silhouette(extractor_.silhouette(frame));
+}
+
+FrameObservation FramePipeline::process(const RgbImage& frame,
+                                        detect::BlobTracker& tracker) const {
+  const seg::ExtractionResult res = extractor_.extract(frame);
+  const detect::TrackResult track = tracker.update(res.smoothed);
+  if (track.measured) {
+    return process_silhouette(fill_holes(track.mask));
+  }
+  // No confirmed person blob this frame: fall back to the extractor's own
+  // cleanup so the clip keeps flowing (and the tracker can re-acquire).
+  return process_silhouette(res.silhouette);
+}
+
+FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette) const {
+  FrameObservation obs;
+  obs.silhouette = silhouette;
+  obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
+  obs.graph = skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices, &obs.cleanup);
+  if (params_.split_bends) {
+    skel::split_edges_at_bends(obs.graph, params_.bend_tolerance);
+  }
+  obs.key_points = skel::extract_key_points(obs.graph);
+  obs.candidates = pose::enumerate_candidates(obs.graph, encoder_, params_.candidates);
+  obs.bottom_row = -1;
+  for (int y = obs.silhouette.height() - 1; y >= 0 && obs.bottom_row < 0; --y) {
+    for (int x = 0; x < obs.silhouette.width(); ++x) {
+      if (obs.silhouette.at(x, y)) {
+        obs.bottom_row = y;
+        break;
+      }
+    }
+  }
+  return obs;
+}
+
+}  // namespace slj::core

@@ -1,0 +1,97 @@
+// The frame pipeline: RGB frame → silhouette → thinned skeleton → cleaned
+// skeleton graph → key points → feature candidates. This is the glue that
+// turns the paper's Sections 2–4 into one call per frame.
+#pragma once
+
+#include <vector>
+
+#include "detection/blob_tracker.hpp"
+#include "imaging/image.hpp"
+#include "pose/skeleton_features.hpp"
+#include "segmentation/object_extractor.hpp"
+#include "skelgraph/artifacts.hpp"
+
+namespace slj::core {
+
+struct PipelineParams {
+  seg::ExtractorParams extractor;
+  int min_branch_vertices = 10;  ///< the paper's pruning threshold
+  int num_areas = 8;
+  pose::CandidateOptions candidates;
+  /// Piecewise-linear refinement (ref [7]): split edges at bend vertices so
+  /// articulations inside merged limbs (knee, elbow) become key points.
+  bool split_bends = true;
+  double bend_tolerance = 2.5;
+};
+
+/// Everything the pipeline derives from one frame, kept so benches and
+/// examples can inspect any intermediate stage.
+struct FrameObservation {
+  BinaryImage silhouette;
+  BinaryImage raw_skeleton;       ///< Z-S output before graph cleanup
+  skel::SkeletonGraph graph;      ///< after loop cut + pruning
+  skel::CleanupStats cleanup;
+  std::vector<skel::KeyPoint> key_points;
+  std::vector<pose::FeatureCandidate> candidates;
+  int bottom_row = -1;            ///< lowest silhouette row; -1 if empty
+};
+
+/// Derives the "jumping stage flag" observable: tracks the ground line from
+/// the first frames of a clip and reports when the silhouette's lowest
+/// point has left it.
+class GroundMonitor {
+ public:
+  explicit GroundMonitor(int lift_threshold_px = 3) : threshold_(lift_threshold_px) {}
+
+  /// Feeds one frame's bottom row; returns the airborne flag for it.
+  bool airborne(int bottom_row) {
+    if (bottom_row < 0) return ground_row_ >= 0 && last_airborne_;
+    if (ground_row_ < 0) ground_row_ = bottom_row;  // calibrate on first visible frame
+    last_airborne_ = bottom_row < ground_row_ - threshold_;
+    return last_airborne_;
+  }
+
+  int ground_row() const { return ground_row_; }
+  void reset() {
+    ground_row_ = -1;
+    last_airborne_ = false;
+  }
+
+ private:
+  int threshold_;
+  int ground_row_ = -1;
+  bool last_airborne_ = false;
+};
+
+class FramePipeline {
+ public:
+  explicit FramePipeline(PipelineParams params = {});
+
+  const PipelineParams& params() const { return params_; }
+  const pose::AreaEncoder& encoder() const { return encoder_; }
+  const seg::ObjectExtractor& extractor() const { return extractor_; }
+
+  /// Installs the empty-studio background plate.
+  void set_background(const RgbImage& background);
+
+  /// Full per-frame processing (the extractor's largest component is taken
+  /// as the jumper).
+  FrameObservation process(const RgbImage& frame) const;
+
+  /// Full per-frame processing with human detection: the jumper blob is
+  /// selected by the tracker (paper component (1)) rather than by size, so
+  /// distractor blobs — a second person, lighting flicker — are ignored.
+  /// Falls back to the plain extractor result while no track is confirmed.
+  FrameObservation process(const RgbImage& frame, detect::BlobTracker& tracker) const;
+
+  /// Pipeline from an already-extracted silhouette (used by tests and by
+  /// benches that feed ground-truth masks).
+  FrameObservation process_silhouette(const BinaryImage& silhouette) const;
+
+ private:
+  PipelineParams params_;
+  seg::ObjectExtractor extractor_;
+  pose::AreaEncoder encoder_;
+};
+
+}  // namespace slj::core

@@ -1,0 +1,110 @@
+#include "core/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slj::core {
+namespace {
+
+/// Foremost (max-x) and rearmost (min-x) silhouette pixels on the bottom
+/// rows — the ground-contact band.
+struct ContactExtent {
+  double front = 0.0;
+  double back = 0.0;
+  bool valid = false;
+};
+
+ContactExtent contact_extent(const BinaryImage& silhouette, int bottom_row, int band = 4) {
+  ContactExtent extent;
+  if (bottom_row < 0) return extent;
+  int min_x = silhouette.width();
+  int max_x = -1;
+  for (int y = std::max(0, bottom_row - band); y <= bottom_row; ++y) {
+    for (int x = 0; x < silhouette.width(); ++x) {
+      if (silhouette.at(x, y)) {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+      }
+    }
+  }
+  if (max_x >= 0) {
+    extent.front = max_x;
+    extent.back = min_x;
+    extent.valid = true;
+  }
+  return extent;
+}
+
+}  // namespace
+
+std::optional<JumpMeasurement> measure_jump(const std::vector<FrameObservation>& observations,
+                                            const std::vector<bool>& airborne,
+                                            double pixels_per_meter) {
+  if (observations.size() != airborne.size() || observations.empty()) return std::nullopt;
+
+  // Flight window: first and last airborne frames.
+  int first_air = -1, last_air = -1;
+  for (std::size_t i = 0; i < airborne.size(); ++i) {
+    if (airborne[i]) {
+      if (first_air < 0) first_air = static_cast<int>(i);
+      last_air = static_cast<int>(i);
+    }
+  }
+  if (first_air <= 0 || last_air < 0 ||
+      last_air + 1 >= static_cast<int>(observations.size())) {
+    return std::nullopt;  // no complete flight in the clip
+  }
+
+  JumpMeasurement m;
+  m.takeoff_frame = first_air - 1;
+  m.landing_frame = last_air + 1;
+  m.flight_frames = last_air - first_air + 1;
+
+  const FrameObservation& takeoff = observations[static_cast<std::size_t>(m.takeoff_frame)];
+  const FrameObservation& landing = observations[static_cast<std::size_t>(m.landing_frame)];
+  const ContactExtent off = contact_extent(takeoff.silhouette, takeoff.bottom_row);
+  const ContactExtent land = contact_extent(landing.silhouette, landing.bottom_row);
+  if (!off.valid || !land.valid) return std::nullopt;
+
+  // Toe at take-off; heel (rearmost contact) at landing — the measured
+  // distance in the standing-long-jump standard.
+  m.takeoff_toe_px = off.front;
+  m.landing_heel_px = land.back;
+  m.distance_px = m.landing_heel_px - m.takeoff_toe_px;
+  m.distance_m = pixels_per_meter > 0.0 ? m.distance_px / pixels_per_meter : 0.0;
+  return m;
+}
+
+JumpScore score_jump(const std::vector<FrameObservation>& observations,
+                     const std::vector<bool>& airborne,
+                     const std::vector<pose::FrameResult>& poses, double pixels_per_meter,
+                     double expected_distance_m) {
+  JumpScore score;
+  score.form = detect_faults(poses);
+  if (auto m = measure_jump(observations, airborne, pixels_per_meter)) {
+    score.measurement = *m;
+  }
+
+  // 60 points: movement standard (10 per check).
+  const int form_points = 60 * score.form.passed_count() / std::max(1, score.form.total_count());
+  // 40 points: distance relative to the age-group norm, linear, capped.
+  int distance_points = 0;
+  if (score.measurement.valid() && expected_distance_m > 0.0) {
+    const double ratio =
+        std::clamp(score.measurement.distance_m / expected_distance_m, 0.0, 1.0);
+    distance_points = static_cast<int>(std::lround(40.0 * ratio));
+  }
+  score.total = form_points + distance_points;
+  if (score.total >= 85) {
+    score.grade = "excellent";
+  } else if (score.total >= 70) {
+    score.grade = "good";
+  } else if (score.total >= 50) {
+    score.grade = "fair";
+  } else {
+    score.grade = "needs work";
+  }
+  return score;
+}
+
+}  // namespace slj::core

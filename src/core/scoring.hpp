@@ -1,0 +1,56 @@
+// Jump scoring — the third component of the paper's system sketch (Sec. 1:
+// "(1) human detection, (2) pose estimation, and (3) scoring"). The paper
+// defers scoring to future work; this module implements the natural
+// version: measure the jump distance from the silhouette sequence and
+// combine it with the movement-standard checks into a graded score.
+//
+// Distance is measured the way a PE teacher does: from the toe position at
+// take-off (last grounded frame before flight) to the heel position at
+// landing (first grounded frame after flight), read off the silhouette's
+// horizontal extent on the ground line.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/faults.hpp"
+#include "core/pipeline.hpp"
+
+namespace slj::core {
+
+struct JumpMeasurement {
+  int takeoff_frame = -1;     ///< last grounded frame before flight
+  int landing_frame = -1;     ///< first grounded frame after flight
+  double takeoff_toe_px = 0;  ///< foremost silhouette point at take-off
+  double landing_heel_px = 0; ///< rearmost ground-contact point at landing
+  double distance_px = 0.0;
+  double distance_m = 0.0;    ///< using the supplied pixels-per-metre scale
+  int flight_frames = 0;
+
+  bool valid() const { return takeoff_frame >= 0 && landing_frame >= 0; }
+};
+
+/// Measures the jump from per-frame observations + flight flags.
+/// `pixels_per_meter` converts to metres (0 → metres left at 0).
+std::optional<JumpMeasurement> measure_jump(const std::vector<FrameObservation>& observations,
+                                            const std::vector<bool>& airborne,
+                                            double pixels_per_meter);
+
+/// Letter-style grade of a jump: distance band + movement-standard checks.
+struct JumpScore {
+  JumpMeasurement measurement;
+  JumpReport form;
+  /// 0..100: 60 points from the form checks, 40 from the distance band.
+  int total = 0;
+  std::string grade;  ///< "excellent" / "good" / "fair" / "needs work"
+};
+
+/// `expected_distance_m` is the full-marks distance for the age group
+/// (primary-school norm ~1.4 m).
+JumpScore score_jump(const std::vector<FrameObservation>& observations,
+                     const std::vector<bool>& airborne,
+                     const std::vector<pose::FrameResult>& poses, double pixels_per_meter,
+                     double expected_distance_m = 1.4);
+
+}  // namespace slj::core

@@ -1,0 +1,39 @@
+// Training the pose DBN from clips (paper Sec. 4.1): every training frame
+// runs through the full vision pipeline, the ground-truth part locations
+// snap to the extracted key points, and the resulting feature vector plus
+// the annotated pose/stage update the classifier's CPTs.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "pose/classifier.hpp"
+#include "synth/dataset.hpp"
+
+namespace slj::core {
+
+struct TrainingStats {
+  std::size_t frames = 0;
+  std::size_t frames_without_skeleton = 0;  ///< skipped: pipeline found nothing
+  std::size_t missing_part_slots = 0;       ///< parts coded "missing" while training
+};
+
+/// Trains `classifier` on one labelled clip.
+TrainingStats train_on_clip(pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
+                            const synth::Clip& clip);
+
+/// Trains on a whole dataset's training split.
+TrainingStats train_on_dataset(pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
+                               const synth::Dataset& dataset);
+
+struct TrainerOptions {
+  /// Qualitative training: learn a TAN structure over the part features
+  /// (Chow–Liu on class-conditional mutual information) before the
+  /// quantitative counting pass. The classifier must be untrained.
+  bool learn_tan_structure = false;
+};
+
+/// Two-pass variant: optional structure learning, then counting. With
+/// default options this equals plain train_on_dataset.
+TrainingStats train_on_dataset(pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
+                               const synth::Dataset& dataset, const TrainerOptions& options);
+
+}  // namespace slj::core

@@ -1,0 +1,166 @@
+#include "ga/ga_fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/connected.hpp"
+
+namespace slj::ga {
+namespace {
+
+constexpr double deg(double d) { return d * 3.14159265358979323846 / 180.0; }
+
+}  // namespace
+
+GeneticSkeletonFitter::GeneticSkeletonFitter(synth::BodyDimensions body,
+                                             synth::CameraConfig camera, GaConfig config)
+    : body_(body), renderer_(camera), config_(config) {
+  // Gene bounds: pelvis position is seeded from the silhouette centroid at
+  // fit() time; these are the articulation ranges.
+  bounds_ = {{
+      {-0.5, 3.0},           // pelvis x (m) — refined per silhouette
+      {0.1, 1.2},            // pelvis y (m)
+      {deg(-10), deg(50)},   // torso lean
+      {deg(-80), deg(170)},  // shoulder
+      {deg(0), deg(60)},     // elbow
+      {deg(-10), deg(100)},  // hip
+      {deg(0), deg(110)},    // knee
+      {deg(-15), deg(15)},   // neck tilt
+  }};
+}
+
+StickPose GeneticSkeletonFitter::decode(const Genome& g) const {
+  StickPose p;
+  p.pelvis_world = {g[0], g[1]};
+  p.angles.torso_lean = g[2];
+  p.angles.shoulder = g[3];
+  p.angles.elbow = g[4];
+  p.angles.hip = g[5];
+  p.angles.knee = g[6];
+  p.angles.neck_tilt = g[7];
+  return p;
+}
+
+double GeneticSkeletonFitter::fitness(const StickPose& pose, const BinaryImage& silhouette) const {
+  const BinaryImage stick = renderer_.render_stick(body_, pose.angles, pose.pelvis_world,
+                                                   config_.stick_radius_px);
+  // Asymmetric overlap: every stick pixel should lie inside the silhouette
+  // (precision) and the stick should span the silhouette extent (recall via
+  // IoU of the dilated stick); plain IoU works well enough and is what we
+  // report.
+  return iou(stick, silhouette);
+}
+
+GeneticSkeletonFitter::Genome GeneticSkeletonFitter::random_genome(
+    std::mt19937& rng, const BinaryImage& silhouette) const {
+  Genome g{};
+  // Seed pelvis near the silhouette centroid.
+  const Labeling lab = label_components(silhouette);
+  PointF centroid{static_cast<double>(silhouette.width()) / 2.0,
+                  static_cast<double>(silhouette.height()) / 2.0};
+  if (!lab.components.empty()) {
+    const auto& biggest = *std::max_element(
+        lab.components.begin(), lab.components.end(),
+        [](const ComponentStats& a, const ComponentStats& b) { return a.area < b.area; });
+    centroid = biggest.centroid;
+  }
+  const auto& cam = renderer_.config();
+  const double cx_world = (centroid.x - cam.origin_x_px) / cam.pixels_per_meter;
+  const double cy_world = (cam.ground_y_px - centroid.y) / cam.pixels_per_meter;
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int i = 0; i < kGeneCount; ++i) {
+    const auto [lo, hi] = bounds_[static_cast<std::size_t>(i)];
+    g[static_cast<std::size_t>(i)] = lo + unit(rng) * (hi - lo);
+  }
+  std::normal_distribution<double> near_x(cx_world, 0.15);
+  std::normal_distribution<double> near_y(cy_world, 0.12);
+  g[0] = near_x(rng);
+  g[1] = std::max(0.05, near_y(rng));
+  return g;
+}
+
+FitResult GeneticSkeletonFitter::fit(const BinaryImage& silhouette) {
+  std::mt19937 rng(config_.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, config_.population - 1);
+
+  std::vector<Genome> population;
+  std::vector<double> scores(static_cast<std::size_t>(config_.population));
+  population.reserve(static_cast<std::size_t>(config_.population));
+  for (int i = 0; i < config_.population; ++i) {
+    population.push_back(random_genome(rng, silhouette));
+  }
+
+  FitResult result;
+  const auto evaluate = [&](const Genome& g) {
+    ++result.evaluations;
+    return fitness(decode(g), silhouette);
+  };
+  for (int i = 0; i < config_.population; ++i) {
+    scores[static_cast<std::size_t>(i)] = evaluate(population[static_cast<std::size_t>(i)]);
+  }
+
+  const auto tournament_select = [&]() -> const Genome& {
+    int best = pick(rng);
+    for (int t = 1; t < config_.tournament; ++t) {
+      const int challenger = pick(rng);
+      if (scores[static_cast<std::size_t>(challenger)] > scores[static_cast<std::size_t>(best)]) {
+        best = challenger;
+      }
+    }
+    return population[static_cast<std::size_t>(best)];
+  };
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    ++result.generations_run;
+    std::vector<int> order(static_cast<std::size_t>(config_.population));
+    for (int i = 0; i < config_.population; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return scores[static_cast<std::size_t>(a)] > scores[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<Genome> next;
+    next.reserve(static_cast<std::size_t>(config_.population));
+    for (int e = 0; e < config_.elitism && e < config_.population; ++e) {
+      next.push_back(population[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])]);
+    }
+    while (static_cast<int>(next.size()) < config_.population) {
+      Genome child = tournament_select();
+      if (unit(rng) < config_.crossover_rate) {
+        const Genome& other = tournament_select();
+        // BLX-alpha blend crossover.
+        for (int i = 0; i < kGeneCount; ++i) {
+          const double a = child[static_cast<std::size_t>(i)];
+          const double b = other[static_cast<std::size_t>(i)];
+          const double lo = std::min(a, b) - config_.blend_alpha * std::abs(a - b);
+          const double hi = std::max(a, b) + config_.blend_alpha * std::abs(a - b);
+          std::uniform_real_distribution<double> blend(lo, hi);
+          child[static_cast<std::size_t>(i)] = blend(rng);
+        }
+      }
+      for (int i = 0; i < kGeneCount; ++i) {
+        if (unit(rng) < config_.mutation_rate) {
+          const auto [lo, hi] = bounds_[static_cast<std::size_t>(i)];
+          std::normal_distribution<double> mut(0.0, config_.mutation_sigma * (hi - lo));
+          child[static_cast<std::size_t>(i)] += mut(rng);
+        }
+        const auto [lo, hi] = bounds_[static_cast<std::size_t>(i)];
+        child[static_cast<std::size_t>(i)] = std::clamp(child[static_cast<std::size_t>(i)], lo, hi);
+      }
+      next.push_back(child);
+    }
+    population = std::move(next);
+    for (int i = 0; i < config_.population; ++i) {
+      scores[static_cast<std::size_t>(i)] = evaluate(population[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  const auto best_it = std::max_element(scores.begin(), scores.end());
+  const std::size_t best_idx = static_cast<std::size_t>(best_it - scores.begin());
+  result.best = decode(population[best_idx]);
+  result.fitness = *best_it;
+  return result;
+}
+
+}  // namespace slj::ga

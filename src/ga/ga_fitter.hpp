@@ -1,0 +1,74 @@
+// Genetic-algorithm stick-model skeleton fitter — the authors' *previous*
+// approach ([1], Hsu et al., ICDCSW 2006) that this paper replaces with
+// thinning because "the search process of the genetic algorithm is very
+// time-consuming" and "the size of each stick needs to be given by the user
+// beforehand" (we likewise require BodyDimensions up front).
+//
+// Chromosome: pelvis position + the articulation angles of the stick model.
+// Fitness: IoU between the rasterised stick silhouette and the observed
+// silhouette. Implemented here as the runtime/accuracy baseline for the P1
+// bench.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "synth/body_model.hpp"
+#include "synth/renderer.hpp"
+
+namespace slj::ga {
+
+struct GaConfig {
+  int population = 56;
+  int generations = 60;
+  int tournament = 3;
+  double crossover_rate = 0.9;
+  double blend_alpha = 0.35;       ///< BLX-alpha crossover spread
+  double mutation_rate = 0.25;     ///< per-gene probability
+  double mutation_sigma = 0.10;    ///< fraction of the gene's range
+  int elitism = 2;
+  double stick_radius_px = 3.0;
+  std::uint32_t seed = 42;
+};
+
+/// One candidate stick configuration.
+struct StickPose {
+  PointF pelvis_world;   ///< metres
+  synth::JointAngles angles;
+};
+
+struct FitResult {
+  StickPose best;
+  double fitness = 0.0;      ///< IoU of the best individual
+  int generations_run = 0;
+  std::size_t evaluations = 0;
+};
+
+class GeneticSkeletonFitter {
+ public:
+  GeneticSkeletonFitter(synth::BodyDimensions body, synth::CameraConfig camera,
+                        GaConfig config = {});
+
+  /// Fits the stick model to one observed silhouette.
+  FitResult fit(const BinaryImage& silhouette);
+
+  /// Fitness of an arbitrary stick pose against a silhouette (exposed for
+  /// tests).
+  double fitness(const StickPose& pose, const BinaryImage& silhouette) const;
+
+ private:
+  static constexpr int kGeneCount = 8;  // x, y, torso, shoulder, elbow, hip, knee, neck
+  using Genome = std::array<double, kGeneCount>;
+
+  StickPose decode(const Genome& g) const;
+  Genome random_genome(std::mt19937& rng, const BinaryImage& silhouette) const;
+
+  synth::BodyDimensions body_;
+  synth::SilhouetteRenderer renderer_;
+  GaConfig config_;
+  std::array<std::pair<double, double>, kGeneCount> bounds_;
+};
+
+}  // namespace slj::ga

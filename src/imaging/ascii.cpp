@@ -1,0 +1,64 @@
+#include "imaging/ascii.hpp"
+
+#include <algorithm>
+
+namespace slj {
+namespace {
+
+// Cell is "on" if any pixel in its footprint is on.
+bool cell_on(const BinaryImage& img, int cx, int cy, int sx, int sy) {
+  const int x0 = cx * sx;
+  const int y0 = cy * sy;
+  for (int y = y0; y < std::min(y0 + sy, img.height()); ++y) {
+    for (int x = x0; x < std::min(x0 + sx, img.width()); ++x) {
+      if (img.at(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+struct Grid {
+  int cols, rows, sx, sy;
+};
+
+Grid make_grid(const BinaryImage& img, int max_cols) {
+  const int sx = std::max(1, (img.width() + max_cols - 1) / max_cols);
+  // Terminal cells are ~2× taller than wide; sample twice as much in y.
+  const int sy = std::max(1, 2 * sx);
+  return {(img.width() + sx - 1) / sx, (img.height() + sy - 1) / sy, sx, sy};
+}
+
+}  // namespace
+
+std::string ascii_render(const BinaryImage& img, int max_cols) {
+  if (img.empty()) return {};
+  const Grid g = make_grid(img, max_cols);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(g.rows) * (g.cols + 1));
+  for (int cy = 0; cy < g.rows; ++cy) {
+    for (int cx = 0; cx < g.cols; ++cx) {
+      out += cell_on(img, cx, cy, g.sx, g.sy) ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_render_overlay(const BinaryImage& silhouette, const BinaryImage& skeleton,
+                                 int max_cols) {
+  if (silhouette.empty()) return {};
+  const Grid g = make_grid(silhouette, max_cols);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(g.rows) * (g.cols + 1));
+  for (int cy = 0; cy < g.rows; ++cy) {
+    for (int cx = 0; cx < g.cols; ++cx) {
+      const bool sil = cell_on(silhouette, cx, cy, g.sx, g.sy);
+      const bool ske = skeleton.empty() ? false : cell_on(skeleton, cx, cy, g.sx, g.sy);
+      out += ske ? (sil ? '*' : '+') : (sil ? '#' : '.');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace slj

@@ -1,0 +1,20 @@
+// Terminal visualisation: downsamples binary masks / skeletons to ASCII
+// contact sheets for the examples and figure benches (no GUI available).
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Renders a binary mask as ASCII, downsampled so the output is at most
+/// `max_cols` wide. Foreground cells print '#', empty cells '.'.
+std::string ascii_render(const BinaryImage& img, int max_cols = 72);
+
+/// Renders mask + skeleton in one view: '#' silhouette, '*' skeleton on top
+/// of silhouette, '+' skeleton outside silhouette, '.' background.
+std::string ascii_render_overlay(const BinaryImage& silhouette, const BinaryImage& skeleton,
+                                 int max_cols = 72);
+
+}  // namespace slj

@@ -1,0 +1,71 @@
+#include "imaging/connected.hpp"
+
+#include <algorithm>
+#include <span>
+
+namespace slj {
+
+Labeling label_components(const BinaryImage& img, bool eight_connected) {
+  const int w = img.width();
+  const int h = img.height();
+  Labeling out{Image<int>(w, h, 0), {}};
+  const std::span<const PointI> nbrs =
+      eight_connected ? std::span<const PointI>(kNeighbours8) : std::span<const PointI>(kNeighbours4);
+  std::vector<PointI> stack;
+  int next_label = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!img.at(x, y) || out.labels.at(x, y) != 0) continue;
+      ++next_label;
+      ComponentStats stats;
+      stats.label = next_label;
+      stats.min = stats.max = {x, y};
+      double sum_x = 0.0;
+      double sum_y = 0.0;
+      out.labels.at(x, y) = next_label;
+      stack.push_back({x, y});
+      while (!stack.empty()) {
+        const PointI p = stack.back();
+        stack.pop_back();
+        ++stats.area;
+        sum_x += p.x;
+        sum_y += p.y;
+        stats.min.x = std::min(stats.min.x, p.x);
+        stats.min.y = std::min(stats.min.y, p.y);
+        stats.max.x = std::max(stats.max.x, p.x);
+        stats.max.y = std::max(stats.max.y, p.y);
+        for (const PointI& d : nbrs) {
+          const int nx = p.x + d.x;
+          const int ny = p.y + d.y;
+          if (img.in_bounds(nx, ny) && img.at(nx, ny) && out.labels.at(nx, ny) == 0) {
+            out.labels.at(nx, ny) = next_label;
+            stack.push_back({nx, ny});
+          }
+        }
+      }
+      stats.centroid = {sum_x / static_cast<double>(stats.area),
+                        sum_y / static_cast<double>(stats.area)};
+      out.components.push_back(stats);
+    }
+  }
+  return out;
+}
+
+BinaryImage largest_component(const BinaryImage& img, bool eight_connected) {
+  const Labeling labeling = label_components(img, eight_connected);
+  BinaryImage out(img.width(), img.height(), 0);
+  if (labeling.components.empty()) return out;
+  const auto largest = std::max_element(
+      labeling.components.begin(), labeling.components.end(),
+      [](const ComponentStats& a, const ComponentStats& b) { return a.area < b.area; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = labeling.labels.data()[i] == largest->label ? 1 : 0;
+  }
+  return out;
+}
+
+std::size_t component_count(const BinaryImage& img, bool eight_connected) {
+  return label_components(img, eight_connected).components.size();
+}
+
+}  // namespace slj

@@ -1,0 +1,35 @@
+// Connected-component labelling and component statistics. The segmentation
+// stage keeps only the largest component (the jumper) after thresholding.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Per-component summary produced by label_components.
+struct ComponentStats {
+  int label = 0;            ///< 1-based label as stored in the label image.
+  std::size_t area = 0;     ///< pixel count
+  PointI min{0, 0};         ///< bounding-box top-left
+  PointI max{0, 0};         ///< bounding-box bottom-right (inclusive)
+  PointF centroid{0, 0};
+};
+
+struct Labeling {
+  Image<int> labels;  ///< 0 = background, 1..N = component id
+  std::vector<ComponentStats> components;
+};
+
+/// Labels foreground components. `eight_connected` selects 8- vs
+/// 4-connectivity (skeletons need 8).
+Labeling label_components(const BinaryImage& img, bool eight_connected = true);
+
+/// Mask of the largest foreground component; empty-input → all-zero mask.
+BinaryImage largest_component(const BinaryImage& img, bool eight_connected = true);
+
+/// Counts connected foreground components.
+std::size_t component_count(const BinaryImage& img, bool eight_connected = true);
+
+}  // namespace slj

@@ -1,0 +1,122 @@
+#include "imaging/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slj {
+namespace {
+
+/// Squared distance from point p to segment [a, b].
+double segment_dist_sq(PointF p, PointF a, PointF b) {
+  const PointF ab = b - a;
+  const double len_sq = dot(ab, ab);
+  double t = len_sq > 0.0 ? dot(p - a, ab) / len_sq : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const PointF proj = a + ab * t;
+  const PointF d = p - proj;
+  return dot(d, d);
+}
+
+template <typename ImageT, typename PixelT>
+void bresenham(ImageT& img, PointI a, PointI b, PixelT value) {
+  int x0 = a.x, y0 = a.y;
+  const int x1 = b.x, y1 = b.y;
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    if (img.in_bounds(x0, y0)) img.at(x0, y0) = value;
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+}  // namespace
+
+void fill_disc(BinaryImage& img, PointF c, double r, std::uint8_t value) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(c.x - r)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(c.x + r)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(c.y - r)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(c.y + r)));
+  const double r_sq = r * r;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - c.x;
+      const double dy = y - c.y;
+      if (dx * dx + dy * dy <= r_sq) img.at(x, y) = value;
+    }
+  }
+}
+
+void fill_capsule(BinaryImage& img, PointF a, PointF b, double r, std::uint8_t value) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(std::min(a.x, b.x) - r)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(std::max(a.x, b.x) + r)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(std::min(a.y, b.y) - r)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(std::max(a.y, b.y) + r)));
+  const double r_sq = r * r;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (segment_dist_sq({static_cast<double>(x), static_cast<double>(y)}, a, b) <= r_sq) {
+        img.at(x, y) = value;
+      }
+    }
+  }
+}
+
+void fill_convex_polygon(BinaryImage& img, std::span<const PointF> vertices, std::uint8_t value) {
+  if (vertices.size() < 3) return;
+  double min_x = vertices[0].x, max_x = vertices[0].x;
+  double min_y = vertices[0].y, max_y = vertices[0].y;
+  for (const PointF& v : vertices) {
+    min_x = std::min(min_x, v.x);
+    max_x = std::max(max_x, v.x);
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+  }
+  const int x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(max_x)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(max_y)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const PointF p{static_cast<double>(x), static_cast<double>(y)};
+      // Inside a convex polygon iff the point is on one side of every edge.
+      bool has_pos = false;
+      bool has_neg = false;
+      for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const PointF& a = vertices[i];
+        const PointF& b = vertices[(i + 1) % vertices.size()];
+        const double cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+        has_pos = has_pos || cross > 0.0;
+        has_neg = has_neg || cross < 0.0;
+      }
+      if (!(has_pos && has_neg)) img.at(x, y) = value;
+    }
+  }
+}
+
+void draw_line(GrayImage& img, PointI a, PointI b, std::uint8_t value) {
+  bresenham(img, a, b, value);
+}
+
+void draw_line(RgbImage& img, PointI a, PointI b, Rgb value) { bresenham(img, a, b, value); }
+
+void draw_marker(RgbImage& img, PointI c, int half, Rgb value) {
+  for (int dy = -half; dy <= half; ++dy) {
+    for (int dx = -half; dx <= half; ++dx) {
+      if (img.in_bounds(c.x + dx, c.y + dy)) img.at(c.x + dx, c.y + dy) = value;
+    }
+  }
+}
+
+}  // namespace slj

@@ -1,0 +1,31 @@
+// Rasterisation primitives used by the synthetic silhouette renderer and the
+// figure benches: filled discs, capsules (thick line segments), convex
+// polygons, and thin overlay lines.
+#pragma once
+
+#include <span>
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Fills the disc of radius `r` centred at `c` with `value`.
+void fill_disc(BinaryImage& img, PointF c, double r, std::uint8_t value = 1);
+
+/// Fills the capsule of radius `r` around segment [a, b] (a thick limb).
+void fill_capsule(BinaryImage& img, PointF a, PointF b, double r, std::uint8_t value = 1);
+
+/// Fills a convex polygon given its vertices in order.
+void fill_convex_polygon(BinaryImage& img, std::span<const PointF> vertices,
+                         std::uint8_t value = 1);
+
+/// Bresenham line on a grayscale image (overlays for figure dumps).
+void draw_line(GrayImage& img, PointI a, PointI b, std::uint8_t value);
+
+/// Bresenham line on an RGB image.
+void draw_line(RgbImage& img, PointI a, PointI b, Rgb value);
+
+/// Small filled square marker (side 2*half+1) for key-point overlays.
+void draw_marker(RgbImage& img, PointI c, int half, Rgb value);
+
+}  // namespace slj

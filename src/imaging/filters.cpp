@@ -1,0 +1,89 @@
+#include "imaging/filters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "imaging/integral.hpp"
+
+namespace slj {
+namespace {
+
+void require_odd(int k) {
+  if (k < 1 || k % 2 == 0) throw std::invalid_argument("filter window must be odd and >= 1");
+}
+
+}  // namespace
+
+GrayImage median_filter(const GrayImage& img, int k) {
+  require_odd(k);
+  const int half = k / 2;
+  GrayImage out(img.width(), img.height());
+  std::array<int, 256> hist{};
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      hist.fill(0);
+      int count = 0;
+      for (int dy = -half; dy <= half; ++dy) {
+        for (int dx = -half; dx <= half; ++dx) {
+          const int nx = x + dx;
+          const int ny = y + dy;
+          if (img.in_bounds(nx, ny)) {
+            ++hist[img.at(nx, ny)];
+            ++count;
+          }
+        }
+      }
+      // Walk the histogram to the median position.
+      const int target = count / 2;
+      int seen = 0;
+      std::uint8_t median = 0;
+      for (int v = 0; v < 256; ++v) {
+        seen += hist[v];
+        if (seen > target) {
+          median = static_cast<std::uint8_t>(v);
+          break;
+        }
+      }
+      out.at(x, y) = median;
+    }
+  }
+  return out;
+}
+
+BinaryImage median_filter_binary(const BinaryImage& img, int k) {
+  require_odd(k);
+  const int w = img.width();
+  const int h = img.height();
+  IntegralImage integral(w, h, [&](int x, int y) { return img.at(x, y) ? 1.0 : 0.0; });
+  const int half = k / 2;
+  BinaryImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int x0 = std::max(x - half, 0);
+      const int y0 = std::max(y - half, 0);
+      const int x1 = std::min(x + half, w - 1);
+      const int y1 = std::min(y + half, h - 1);
+      const double area = static_cast<double>(x1 - x0 + 1) * (y1 - y0 + 1);
+      const double ones = integral.sum(x0, y0, x1, y1);
+      // Upper median of a 0/1 population (ties resolve to 1, matching the
+      // grayscale median's index-count/2 element).
+      out.at(x, y) = ones * 2.0 >= area ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+GrayImage box_blur(const GrayImage& img, int k) {
+  require_odd(k);
+  const Image<double> means = window_mean_gray(img, k);
+  GrayImage out(img.width(), img.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(means.data()[i]), 0L, 255L));
+  }
+  return out;
+}
+
+}  // namespace slj

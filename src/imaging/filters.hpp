@@ -1,0 +1,22 @@
+// Spatial filters. The paper smooths the extracted silhouette with a median
+// filter (Sec. 2, Fig. 1c); the binary specialisation below is what the
+// segmentation pipeline uses.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Median filter over a k×k window (k odd). Border pixels use the clamped
+/// window. Works on full 8-bit grayscale range.
+GrayImage median_filter(const GrayImage& img, int k);
+
+/// Median filter specialised to 0/1 masks: a pixel becomes foreground iff
+/// the majority of its (clamped) k×k window is foreground. Equivalent to
+/// median_filter on a 0/1 image but considerably faster.
+BinaryImage median_filter_binary(const BinaryImage& img, int k);
+
+/// Box blur (mean filter) over a k×k window, rounding to nearest.
+GrayImage box_blur(const GrayImage& img, int k);
+
+}  // namespace slj

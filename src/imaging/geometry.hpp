@@ -1,0 +1,73 @@
+// Basic 2-D geometry primitives shared across the pipeline.
+//
+// Image coordinate convention: x grows to the right, y grows *down* (row
+// index). Feature encoding (pose module) flips y so that "up" is positive
+// when it reasons about the plane around the waist; everything in imaging
+// stays in row/column space.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace slj {
+
+/// Integer pixel coordinate.
+struct PointI {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const PointI&, const PointI&) = default;
+  friend constexpr auto operator<=>(const PointI&, const PointI&) = default;
+};
+
+/// Continuous 2-D point / vector.
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const PointF&, const PointF&) = default;
+
+  constexpr PointF operator+(const PointF& o) const { return {x + o.x, y + o.y}; }
+  constexpr PointF operator-(const PointF& o) const { return {x - o.x, y - o.y}; }
+  constexpr PointF operator*(double s) const { return {x * s, y * s}; }
+  constexpr PointF operator/(double s) const { return {x / s, y / s}; }
+};
+
+inline double dot(const PointF& a, const PointF& b) { return a.x * b.x + a.y * b.y; }
+
+inline double norm(const PointF& a) { return std::sqrt(dot(a, a)); }
+
+inline double distance(const PointF& a, const PointF& b) { return norm(a - b); }
+
+inline double distance(const PointI& a, const PointI& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline PointF to_f(const PointI& p) { return {static_cast<double>(p.x), static_cast<double>(p.y)}; }
+
+inline PointI round_to_i(const PointF& p) {
+  return {static_cast<int>(std::lround(p.x)), static_cast<int>(std::lround(p.y))};
+}
+
+/// Chebyshev (8-neighbourhood) distance.
+inline int chebyshev(const PointI& a, const PointI& b) {
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+}  // namespace slj
+
+template <>
+struct std::hash<slj::PointI> {
+  std::size_t operator()(const slj::PointI& p) const noexcept {
+    // Pixels fit comfortably in 32 bits per axis; mix them into one word.
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y));
+    return std::hash<std::uint64_t>{}((ux << 32) | uy);
+  }
+};

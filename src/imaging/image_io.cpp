@@ -1,0 +1,121 @@
+#include "imaging/image_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace slj {
+namespace {
+
+// Skips whitespace and '#' comment lines between header tokens.
+void skip_separators(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& in, const std::string& path) {
+  skip_separators(in);
+  int value = 0;
+  if (!(in >> value) || value < 0) {
+    throw std::runtime_error("malformed netpbm header in " + path);
+  }
+  return value;
+}
+
+void check_magic(std::istream& in, const std::string& expected, const std::string& path) {
+  std::string magic;
+  in >> magic;
+  if (magic != expected) {
+    throw std::runtime_error("bad magic '" + magic + "' in " + path + ", expected " + expected);
+  }
+}
+
+}  // namespace
+
+void write_pgm(const GrayImage& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.data().data()),
+            static_cast<std::streamsize>(img.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+void write_ppm(const RgbImage& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (const Rgb& px : img.data()) {
+    const char bytes[3] = {static_cast<char>(px.r), static_cast<char>(px.g),
+                           static_cast<char>(px.b)};
+    out.write(bytes, 3);
+  }
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  check_magic(in, "P5", path);
+  const int width = read_header_int(in, path);
+  const int height = read_header_int(in, path);
+  const int maxval = read_header_int(in, path);
+  if (maxval != 255) throw std::runtime_error("unsupported maxval in " + path);
+  in.get();  // single whitespace after maxval
+  GrayImage img(width, height);
+  in.read(reinterpret_cast<char*>(img.data().data()), static_cast<std::streamsize>(img.size()));
+  if (in.gcount() != static_cast<std::streamsize>(img.size())) {
+    throw std::runtime_error("truncated pixel data in " + path);
+  }
+  return img;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  check_magic(in, "P6", path);
+  const int width = read_header_int(in, path);
+  const int height = read_header_int(in, path);
+  const int maxval = read_header_int(in, path);
+  if (maxval != 255) throw std::runtime_error("unsupported maxval in " + path);
+  in.get();
+  RgbImage img(width, height);
+  std::vector<char> raw(img.size() * 3);
+  in.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+  if (in.gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw std::runtime_error("truncated pixel data in " + path);
+  }
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = {static_cast<std::uint8_t>(raw[3 * i]),
+                     static_cast<std::uint8_t>(raw[3 * i + 1]),
+                     static_cast<std::uint8_t>(raw[3 * i + 2])};
+  }
+  return img;
+}
+
+GrayImage binary_to_gray(const BinaryImage& img) {
+  GrayImage out(img.width(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    out.data()[i] = img.data()[i] ? 255 : 0;
+  }
+  return out;
+}
+
+BinaryImage gray_to_binary(const GrayImage& img, std::uint8_t threshold) {
+  BinaryImage out(img.width(), img.height());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    out.data()[i] = img.data()[i] > threshold ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace slj

@@ -1,0 +1,29 @@
+// Netpbm (PGM / PPM, binary variants) reading and writing. Used by the
+// figure benches and examples to dump pipeline stages for inspection.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Write an 8-bit grayscale image as binary PGM (P5).
+void write_pgm(const GrayImage& img, const std::string& path);
+
+/// Write an RGB image as binary PPM (P6).
+void write_ppm(const RgbImage& img, const std::string& path);
+
+/// Read a binary PGM (P5). Throws std::runtime_error on malformed input.
+GrayImage read_pgm(const std::string& path);
+
+/// Read a binary PPM (P6). Throws std::runtime_error on malformed input.
+RgbImage read_ppm(const std::string& path);
+
+/// Scale a binary (0/1) mask to a viewable 0/255 grayscale image.
+GrayImage binary_to_gray(const BinaryImage& img);
+
+/// Threshold a grayscale image into a 0/1 mask (value > threshold → 1).
+BinaryImage gray_to_binary(const GrayImage& img, std::uint8_t threshold);
+
+}  // namespace slj

@@ -1,0 +1,66 @@
+// Integral images (summed-area tables) and the moving-window box mean the
+// paper's object-extraction step is built on (Sec. 2: "average background
+// matrix Bave over a moving window of n×n").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// Summed-area table over a single channel. sum(x0,y0,x1,y1) is O(1).
+class IntegralImage {
+ public:
+  IntegralImage() = default;
+
+  /// Builds the table from an extractor functor mapping (x, y) → double.
+  template <typename Fn>
+  IntegralImage(int width, int height, Fn&& value_at)
+      : width_(width), height_(height), table_((width + 1) * static_cast<std::size_t>(height + 1)) {
+    for (int y = 0; y < height; ++y) {
+      double row_sum = 0.0;
+      for (int x = 0; x < width; ++x) {
+        row_sum += value_at(x, y);
+        tab(x + 1, y + 1) = tab(x + 1, y) + row_sum;
+      }
+    }
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Inclusive-rectangle sum over [x0, x1] × [y0, y1]; clamps to the image.
+  double sum(int x0, int y0, int x1, int y1) const;
+
+  /// Mean of the window centred at (x, y) with side `n` (odd), clamped at
+  /// image borders (the divisor is the clamped area, so border means stay
+  /// unbiased).
+  double window_mean(int x, int y, int n) const;
+
+ private:
+  double& tab(int x, int y) { return table_[static_cast<std::size_t>(y) * (width_ + 1) + x]; }
+  const double& tab(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> table_;
+};
+
+/// Per-channel moving-window mean of an RGB image; the paper's Aave / Bave.
+/// `n` must be odd and >= 1.
+struct RgbMeans {
+  Image<double> r;
+  Image<double> g;
+  Image<double> b;
+};
+
+RgbMeans window_mean_rgb(const RgbImage& img, int n);
+
+/// Moving-window mean of a grayscale image.
+Image<double> window_mean_gray(const GrayImage& img, int n);
+
+}  // namespace slj

@@ -1,0 +1,92 @@
+#include "imaging/morphology.hpp"
+
+#include <span>
+#include <vector>
+
+namespace slj {
+namespace {
+
+std::span<const PointI> offsets(Structuring se) {
+  return se == Structuring::kCross4 ? std::span<const PointI>(kNeighbours4)
+                                    : std::span<const PointI>(kNeighbours8);
+}
+
+}  // namespace
+
+BinaryImage dilate(const BinaryImage& img, Structuring se) {
+  BinaryImage out = img;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (img.at(x, y)) continue;
+      for (const PointI& d : offsets(se)) {
+        if (img.at_or(x + d.x, y + d.y, 0)) {
+          out.at(x, y) = 1;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BinaryImage erode(const BinaryImage& img, Structuring se) {
+  BinaryImage out = img;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (!img.at(x, y)) continue;
+      for (const PointI& d : offsets(se)) {
+        // Outside the image counts as foreground for erosion (and as
+        // background for dilation): this keeps opening anti-extensive and
+        // closing extensive at the image border.
+        if (!img.at_or(x + d.x, y + d.y, 1)) {
+          out.at(x, y) = 0;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BinaryImage open(const BinaryImage& img, Structuring se) { return dilate(erode(img, se), se); }
+
+BinaryImage close(const BinaryImage& img, Structuring se) { return erode(dilate(img, se), se); }
+
+BinaryImage fill_holes(const BinaryImage& img) {
+  const int w = img.width();
+  const int h = img.height();
+  // Flood the background from the border (4-connectivity keeps diagonal
+  // silhouette boundaries watertight), then invert what was not reached.
+  BinaryImage reached(w, h, 0);
+  std::vector<PointI> stack;
+  auto push_if_bg = [&](int x, int y) {
+    if (x >= 0 && x < w && y >= 0 && y < h && !img.at(x, y) && !reached.at(x, y)) {
+      reached.at(x, y) = 1;
+      stack.push_back({x, y});
+    }
+  };
+  for (int x = 0; x < w; ++x) {
+    push_if_bg(x, 0);
+    push_if_bg(x, h - 1);
+  }
+  for (int y = 0; y < h; ++y) {
+    push_if_bg(0, y);
+    push_if_bg(w - 1, y);
+  }
+  while (!stack.empty()) {
+    const PointI p = stack.back();
+    stack.pop_back();
+    for (const PointI& d : kNeighbours4) {
+      push_if_bg(p.x + d.x, p.y + d.y);
+    }
+  }
+  BinaryImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out.at(x, y) = (img.at(x, y) || !reached.at(x, y)) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace slj

@@ -1,0 +1,26 @@
+// Binary morphology and region utilities used to clean the extracted
+// silhouette before thinning: erode/dilate, open/close, border-flood hole
+// filling.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace slj {
+
+/// 3×3 structuring element shape.
+enum class Structuring { kCross4, kSquare8 };
+
+BinaryImage dilate(const BinaryImage& img, Structuring se = Structuring::kSquare8);
+BinaryImage erode(const BinaryImage& img, Structuring se = Structuring::kSquare8);
+
+/// Erosion followed by dilation: removes speckle smaller than the element.
+BinaryImage open(const BinaryImage& img, Structuring se = Structuring::kSquare8);
+
+/// Dilation followed by erosion: closes pinholes smaller than the element.
+BinaryImage close(const BinaryImage& img, Structuring se = Structuring::kSquare8);
+
+/// Fills interior holes: every background region not connected (4-conn) to
+/// the image border becomes foreground.
+BinaryImage fill_holes(const BinaryImage& img);
+
+}  // namespace slj

@@ -1,0 +1,186 @@
+#include "pose/decoders.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bayes/forward.hpp"
+#include "bayes/viterbi.hpp"
+
+namespace slj::pose {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Max over candidates of the weighted observation log-score for a pose.
+double best_emission(const PoseDbnClassifier& clf, PoseId pose,
+                     const std::vector<FeatureCandidate>& candidates) {
+  const ClassifierConfig& cfg = clf.config();
+  double best = kNegInf;
+  for (const FeatureCandidate& c : candidates) {
+    const double s = cfg.likelihood_weight *
+                     (clf.log_likelihood(pose, c) +
+                      c.unexplained_areas * std::log(cfg.clutter_epsilon));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::pair<Stage, Stage>> stage_bounds_from_flags(const std::vector<bool>& airborne) {
+  std::vector<std::pair<Stage, Stage>> bounds;
+  bounds.reserve(airborne.size());
+  bool flight_seen = false;
+  bool in_flight = false;
+  for (const bool air : airborne) {
+    if (air) {
+      flight_seen = true;
+      in_flight = true;
+    } else if (in_flight) {
+      in_flight = false;
+    }
+    if (in_flight) {
+      bounds.emplace_back(Stage::kInTheAir, Stage::kInTheAir);
+    } else if (flight_seen) {
+      bounds.emplace_back(Stage::kLanding, Stage::kLanding);
+    } else {
+      bounds.emplace_back(Stage::kBeforeJumping, Stage::kJumping);
+    }
+  }
+  return bounds;
+}
+
+std::vector<FrameResult> decode_sequence(const PoseDbnClassifier& classifier,
+                                         const std::vector<std::vector<FeatureCandidate>>& clip,
+                                         const std::vector<bool>& airborne,
+                                         SequenceDecoder decoder) {
+  if (airborne.size() != clip.size()) {
+    throw std::invalid_argument("airborne flags must match clip length");
+  }
+  if (decoder == SequenceDecoder::kOnline) {
+    return classifier.classify_sequence(clip, airborne);
+  }
+  const int T = static_cast<int>(clip.size());
+  std::vector<FrameResult> out(static_cast<std::size_t>(T));
+  if (T == 0) return out;
+
+  const auto bounds = stage_bounds_from_flags(airborne);
+  const auto in_bounds = [&](int t, PoseId p) {
+    const Stage s = stage_of(p);
+    return index_of(s) >= index_of(bounds[static_cast<std::size_t>(t)].first) &&
+           index_of(s) <= index_of(bounds[static_cast<std::size_t>(t)].second);
+  };
+
+  // Per-frame emission per pose: observation score + airborne-flag CPT,
+  // gated by the flag-implied stage bounds.
+  std::vector<std::vector<double>> emission(
+      static_cast<std::size_t>(T), std::vector<double>(static_cast<std::size_t>(kPoseCount)));
+  for (int t = 0; t < T; ++t) {
+    for (int p = 0; p < kPoseCount; ++p) {
+      const PoseId pose = static_cast<PoseId>(p);
+      double e;
+      if (!in_bounds(t, pose)) {
+        e = kNegInf;
+      } else {
+        const double ap = classifier.airborne_prob(airborne[static_cast<std::size_t>(t)],
+                                                   stage_of(pose));
+        e = (ap > 0.0 ? std::log(ap) : kNegInf);
+        if (!clip[static_cast<std::size_t>(t)].empty()) {
+          e += best_emission(classifier, pose, clip[static_cast<std::size_t>(t)]);
+        }
+      }
+      emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)] = e;
+    }
+  }
+
+  const auto log_transition = [&](int t, int from, int to) {
+    const PoseId pf = static_cast<PoseId>(from);
+    const PoseId pt = static_cast<PoseId>(to);
+    const Stage sf = stage_of(pf);
+    const Stage st = stage_of(pt);
+    if (index_of(st) < index_of(sf)) return kNegInf;  // stages never regress
+    if (!in_bounds(t, pt)) return kNegInf;
+    const double trans = classifier.transition_prob(pt, pf, st);
+    const double stage = classifier.stage_prob(st, sf);
+    return (trans > 0.0 && stage > 0.0) ? std::log(trans) + std::log(stage) : kNegInf;
+  };
+
+  if (decoder == SequenceDecoder::kViterbi) {
+    const auto path = bayes::viterbi_decode(
+        kPoseCount, T,
+        [&](int s) {
+          const double p = classifier.prior_prob(static_cast<PoseId>(s));
+          return p > 0.0 ? std::log(p) : kNegInf;
+        },
+        log_transition,
+        [&](int t, int s) {
+          return emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+        });
+    for (int t = 0; t < T; ++t) {
+      FrameResult& r = out[static_cast<std::size_t>(t)];
+      r.pose = r.best_pose = static_cast<PoseId>(path[static_cast<std::size_t>(t)]);
+      r.stage = stage_of(r.pose);
+      r.posterior = 1.0;  // Viterbi commits to the path; no per-frame marginal
+    }
+    return out;
+  }
+
+  // Filtering: forward belief over poses. The transition matrix is rebuilt
+  // per step because the flag bounds gate it; rows are renormalized.
+  std::vector<double> belief(static_cast<std::size_t>(kPoseCount));
+  for (int p = 0; p < kPoseCount; ++p) {
+    belief[static_cast<std::size_t>(p)] = classifier.prior_prob(static_cast<PoseId>(p));
+  }
+  for (int t = 0; t < T; ++t) {
+    std::vector<double> next(static_cast<std::size_t>(kPoseCount), 0.0);
+    if (t == 0) {
+      next = belief;
+    } else {
+      for (int from = 0; from < kPoseCount; ++from) {
+        const double b = belief[static_cast<std::size_t>(from)];
+        if (b <= 0.0) continue;
+        for (int to = 0; to < kPoseCount; ++to) {
+          const double lt = log_transition(t, from, to);
+          if (lt != kNegInf) next[static_cast<std::size_t>(to)] += b * std::exp(lt);
+        }
+      }
+    }
+    // Weight by emission and renormalize.
+    double total = 0.0;
+    for (int p = 0; p < kPoseCount; ++p) {
+      const double e = emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+      next[static_cast<std::size_t>(p)] *= e == kNegInf ? 0.0 : std::exp(e);
+      total += next[static_cast<std::size_t>(p)];
+    }
+    if (total <= 0.0) {
+      // Contradictory evidence: restart from the emission alone.
+      total = 0.0;
+      for (int p = 0; p < kPoseCount; ++p) {
+        const double e = emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
+        next[static_cast<std::size_t>(p)] = e == kNegInf ? 0.0 : std::exp(e);
+        total += next[static_cast<std::size_t>(p)];
+      }
+    }
+    if (total > 0.0) {
+      for (double& v : next) v /= total;
+    } else {
+      for (double& v : next) v = 1.0 / kPoseCount;
+    }
+    belief = std::move(next);
+
+    int map_state = 0;
+    for (int p = 1; p < kPoseCount; ++p) {
+      if (belief[static_cast<std::size_t>(p)] > belief[static_cast<std::size_t>(map_state)]) {
+        map_state = p;
+      }
+    }
+    FrameResult& r = out[static_cast<std::size_t>(t)];
+    r.pose = r.best_pose = static_cast<PoseId>(map_state);
+    r.posterior = belief[static_cast<std::size_t>(map_state)];
+    r.stage = stage_of(r.pose);
+  }
+  return out;
+}
+
+}  // namespace slj::pose

@@ -1,0 +1,38 @@
+// Whole-clip sequence decoders — extensions over the paper's frame-by-frame
+// point-estimate rule (Sec. 6 asks for "refinement on the DBN"):
+//
+//  * filtering — full forward belief over poses instead of a committed
+//    point estimate; the frame's answer is the MAP of the belief.
+//  * Viterbi  — offline max-product decoding of the whole clip, which can
+//    revise early frames in the light of later evidence (the cure for the
+//    paper's "a misclassified frame will still affect subsequent frames").
+//
+// Both share the classifier's learned CPTs and the measured jumping-stage
+// flag discipline (stages never regress; air/landing gated by the flag).
+#pragma once
+
+#include <vector>
+
+#include "pose/classifier.hpp"
+
+namespace slj::pose {
+
+enum class SequenceDecoder {
+  kOnline,     ///< the paper's rule: per-frame argmax, point-estimate prev
+  kFiltering,  ///< forward belief propagation, MAP per frame
+  kViterbi,    ///< offline max-product over the whole clip
+};
+
+/// Per-frame stage bounds implied by the measured airborne flags: before
+/// flight the stage is at most "jumping"; during flight exactly "in the
+/// air"; after flight exactly "landing".
+std::vector<std::pair<Stage, Stage>> stage_bounds_from_flags(const std::vector<bool>& airborne);
+
+/// Decodes a whole clip with the chosen decoder. `candidates[t]` are frame
+/// t's body-part labellings, `airborne[t]` the measured flag.
+std::vector<FrameResult> decode_sequence(const PoseDbnClassifier& classifier,
+                                         const std::vector<std::vector<FeatureCandidate>>& clip,
+                                         const std::vector<bool>& airborne,
+                                         SequenceDecoder decoder);
+
+}  // namespace slj::pose

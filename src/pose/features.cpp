@@ -1,0 +1,81 @@
+#include "pose/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slj::pose {
+
+std::string_view part_name(Part p) {
+  switch (p) {
+    case Part::kHead: return "Head";
+    case Part::kChest: return "Chest";
+    case Part::kHand: return "Hand";
+    case Part::kKnee: return "Knee";
+    case Part::kFoot: return "Foot";
+  }
+  return "?";
+}
+
+AreaEncoder::AreaEncoder(int num_areas) : num_areas_(num_areas) {
+  if (num_areas < 2) throw std::invalid_argument("need at least 2 areas");
+}
+
+int AreaEncoder::area_of(PointF p, PointF waist) const {
+  const double dx = p.x - waist.x;
+  const double dy = waist.y - p.y;  // flip: image y grows down, body y up
+  if (dx == 0.0 && dy == 0.0) return 0;
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  const double sector = two_pi / num_areas_;
+  // Offset by half a sector so cardinal directions (straight up, straight
+  // ahead, ...) fall in the *middle* of a sector rather than on a boundary;
+  // otherwise pixel noise around vertical limbs flips the code constantly.
+  double angle = std::atan2(dy, dx) + sector / 2.0;
+  while (angle < 0.0) angle += two_pi;
+  while (angle >= two_pi) angle -= two_pi;
+  int area = static_cast<int>(angle / sector);
+  if (area >= num_areas_) area = num_areas_ - 1;
+  return area;
+}
+
+std::string AreaEncoder::state_label(int state) const {
+  if (state == missing_state()) return "missing";
+  static constexpr const char* kRoman[] = {"I",   "II",   "III", "IV",  "V",   "VI",
+                                           "VII", "VIII", "IX",  "X",   "XI",  "XII",
+                                           "XIII", "XIV",  "XV",  "XVI"};
+  if (state >= 0 && state < static_cast<int>(std::size(kRoman)) && state < num_areas_) {
+    return kRoman[state];
+  }
+  return "area" + std::to_string(state);
+}
+
+PointF PartPoints::get(Part p) const {
+  switch (p) {
+    case Part::kHead: return head;
+    case Part::kChest: return chest;
+    case Part::kHand: return hand;
+    case Part::kKnee: return knee;
+    case Part::kFoot: return foot;
+  }
+  return {};
+}
+
+FeatureVector encode_parts(const PartPoints& parts, PointF waist, const AreaEncoder& encoder) {
+  FeatureVector f;
+  for (int i = 0; i < kPartCount; ++i) {
+    const Part p = static_cast<Part>(i);
+    f[p] = encoder.area_of(parts.get(p), waist);
+  }
+  return f;
+}
+
+std::string to_string(const FeatureVector& f, const AreaEncoder& encoder) {
+  std::string out;
+  for (int i = 0; i < kPartCount; ++i) {
+    const Part p = static_cast<Part>(i);
+    if (i > 0) out += ' ';
+    out += std::string(part_name(p)) + "=" + encoder.state_label(f[p]);
+  }
+  return out;
+}
+
+}  // namespace slj::pose

@@ -1,0 +1,75 @@
+// Feature encoding (paper Sec. 4, Fig. 6): the waist is the origin of the
+// plane, and each key body part is coded by which of the eight 45° angular
+// areas (I…VIII) it falls into. The paper's future-work note "more
+// partitions instead of just eight can be used" is supported by making the
+// partition count a parameter (the A3 ablation sweeps it).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "imaging/geometry.hpp"
+
+namespace slj::pose {
+
+/// The five key body parts of the paper's BN (Fig. 7a hidden nodes).
+enum class Part : std::uint8_t { kHead = 0, kChest, kHand, kKnee, kFoot };
+inline constexpr int kPartCount = 5;
+
+std::string_view part_name(Part p);
+
+/// Angular-partition encoder around the waist origin. Areas are numbered
+/// 0..n-1 counter-clockwise starting at the positive-x axis *in body space*
+/// (x right, y up); image-space y is flipped internally. Area 0 therefore
+/// spans [0°, 360°/n) above-right of the waist.
+class AreaEncoder {
+ public:
+  explicit AreaEncoder(int num_areas = 8);
+
+  int num_areas() const { return num_areas_; }
+
+  /// State used when a part was not found on the skeleton.
+  int missing_state() const { return num_areas_; }
+
+  /// Number of encoder states including "missing".
+  int state_count() const { return num_areas_ + 1; }
+
+  /// Area of image-space point `p` relative to image-space `waist`.
+  /// A point coincident with the waist maps to area 0.
+  int area_of(PointF p, PointF waist) const;
+
+  /// Roman-numeral style label ("I".."XVI", or "missing").
+  std::string state_label(int state) const;
+
+ private:
+  int num_areas_;
+};
+
+/// The paper's feature vector: one encoder state per body part.
+struct FeatureVector {
+  std::array<int, kPartCount> areas{};
+
+  int& operator[](Part p) { return areas[static_cast<std::size_t>(p)]; }
+  int operator[](Part p) const { return areas[static_cast<std::size_t>(p)]; }
+
+  friend bool operator==(const FeatureVector&, const FeatureVector&) = default;
+};
+
+/// Plain container of part locations (image pixels) — ground truth during
+/// training, candidate hypothesis during testing.
+struct PartPoints {
+  PointF head;
+  PointF chest;
+  PointF hand;
+  PointF knee;
+  PointF foot;
+
+  PointF get(Part p) const;
+};
+
+/// Encodes five known part locations against a waist origin.
+FeatureVector encode_parts(const PartPoints& parts, PointF waist, const AreaEncoder& encoder);
+
+std::string to_string(const FeatureVector& f, const AreaEncoder& encoder);
+
+}  // namespace slj::pose

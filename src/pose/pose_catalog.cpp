@@ -1,0 +1,88 @@
+#include "pose/pose_catalog.hpp"
+
+#include <stdexcept>
+
+namespace slj::pose {
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::kBeforeJumping: return "before jumping";
+    case Stage::kJumping: return "jumping";
+    case Stage::kInTheAir: return "in the air";
+    case Stage::kLanding: return "landing";
+  }
+  return "?";
+}
+
+std::string_view pose_name(PoseId p) {
+  switch (p) {
+    case PoseId::kStandHandsOverlap: return "standing & hands overlap with body";
+    case PoseId::kStandHandsForward: return "standing & hands swung forward";
+    case PoseId::kStandHandsBackward: return "standing & hands swung backward";
+    case PoseId::kStandHandsUp: return "standing & hands raised up";
+    case PoseId::kCrouchHandsBackward: return "crouched & hands swung backward";
+    case PoseId::kCrouchHandsForward: return "crouched & hands swung forward";
+    case PoseId::kWaistBentHandsBackward: return "waist bent & hands swung backward";
+    case PoseId::kExtendedHandsForward: return "knees and feet extended & hands raised forward";
+    case PoseId::kExtendedHandsUp: return "body extended & hands raised up";
+    case PoseId::kTakeoffLeanForward: return "take-off & body leaning forward & hands forward";
+    case PoseId::kTakeoffHandsBackward: return "take-off & hands still backward";
+    case PoseId::kAirExtendedHandsForward: return "airborne & body extended & hands forward";
+    case PoseId::kAirTuckHandsForward: return "airborne & knees tucked & hands forward";
+    case PoseId::kAirTuckHandsDown: return "airborne & knees tucked & hands down";
+    case PoseId::kAirLegsReachForward: return "airborne & legs reaching forward & hands forward";
+    case PoseId::kAirPikeHandsDown: return "airborne & body piked & hands reaching toes";
+    case PoseId::kAirUprightHandsDown: return "airborne & body upright & hands down";
+    case PoseId::kTouchdownKneesBentHandsForward: return "touchdown & knees bent & hands forward";
+    case PoseId::kTouchdownDeepHandsDown: return "touchdown & knees deeply bent & hands down";
+    case PoseId::kLandedSquatHandsForward: return "landed & squatting & hands forward";
+    case PoseId::kLandedRisingHandsDown: return "landed & standing up & hands down";
+    case PoseId::kLandedWaistBentHandsForward: return "landed & waist bent & hands raised forward";
+    case PoseId::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Stage stage_of(PoseId p) {
+  const int i = static_cast<int>(p);
+  if (i <= static_cast<int>(PoseId::kWaistBentHandsBackward)) return Stage::kBeforeJumping;
+  if (i <= static_cast<int>(PoseId::kTakeoffHandsBackward)) return Stage::kJumping;
+  if (i <= static_cast<int>(PoseId::kAirUprightHandsDown)) return Stage::kInTheAir;
+  if (i <= static_cast<int>(PoseId::kLandedWaistBentHandsForward)) return Stage::kLanding;
+  return Stage::kBeforeJumping;  // kUnknown: arbitrary, documented in header
+}
+
+PoseId pose_from_index(int idx) {
+  if (idx < 0 || idx > static_cast<int>(PoseId::kUnknown)) {
+    throw std::out_of_range("pose index out of range");
+  }
+  return static_cast<PoseId>(idx);
+}
+
+Stage stage_from_index(int idx) {
+  if (idx < 0 || idx >= kStageCount) throw std::out_of_range("stage index out of range");
+  return static_cast<Stage>(idx);
+}
+
+std::array<PoseId, kPoseCount> all_poses() {
+  std::array<PoseId, kPoseCount> out{};
+  for (int i = 0; i < kPoseCount; ++i) out[static_cast<std::size_t>(i)] = static_cast<PoseId>(i);
+  return out;
+}
+
+int poses_in_stage(Stage s, std::array<PoseId, kPoseCount>& out) {
+  int n = 0;
+  for (int i = 0; i < kPoseCount; ++i) {
+    const PoseId p = static_cast<PoseId>(i);
+    if (stage_of(p) == s) out[static_cast<std::size_t>(n++)] = p;
+  }
+  return n;
+}
+
+bool stage_transition_allowed(Stage from, Stage to) {
+  const int f = static_cast<int>(from);
+  const int t = static_cast<int>(to);
+  return t == f || t == f + 1;
+}
+
+}  // namespace slj::pose

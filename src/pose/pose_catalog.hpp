@@ -1,0 +1,92 @@
+// The 22-pose catalogue and the four jumping stages (paper Sec. 4).
+//
+// The paper defines 22 poses but names only four in the text:
+//   "standing & hand overlap with body"          (the reset pose)
+//   "standing & hand swung forward"              (the dominant pose)
+//   "knee and foot extended & hand raised forward"
+//   "waist bended & hand raised forward"
+// The remaining 18 are reconstructed from the four stages the paper lists
+// (before jumping / jumping / in the air / landing) and the standing-long-
+// jump movement standard those stages describe. Every pose belongs to
+// exactly one stage; the DBN uses that to rule out impossible transitions
+// ("poses belonging to 'before jumping' and poses belonging to 'landing'
+// cannot occur consecutively").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace slj::pose {
+
+enum class Stage : std::uint8_t {
+  kBeforeJumping = 0,
+  kJumping = 1,
+  kInTheAir = 2,
+  kLanding = 3,
+};
+
+inline constexpr int kStageCount = 4;
+
+std::string_view stage_name(Stage s);
+
+/// Pose identifiers. Values are dense 0..21; kUnknown is a sentinel used by
+/// the classifier when no pose clears its threshold, never a label.
+enum class PoseId : std::uint8_t {
+  // -- before jumping -------------------------------------------------
+  kStandHandsOverlap = 0,      ///< paper: "standing & hand overlap with body"
+  kStandHandsForward = 1,      ///< paper: "standing & hand swung forward" (dominant)
+  kStandHandsBackward = 2,
+  kStandHandsUp = 3,
+  kCrouchHandsBackward = 4,
+  kCrouchHandsForward = 5,
+  kWaistBentHandsBackward = 6,
+  // -- jumping (take-off) ---------------------------------------------
+  kExtendedHandsForward = 7,   ///< paper: "knee and foot extended & hand raised forward"
+  kExtendedHandsUp = 8,
+  kTakeoffLeanForward = 9,
+  kTakeoffHandsBackward = 10,
+  // -- in the air ------------------------------------------------------
+  kAirExtendedHandsForward = 11,
+  kAirTuckHandsForward = 12,
+  kAirTuckHandsDown = 13,
+  kAirLegsReachForward = 14,
+  kAirPikeHandsDown = 15,
+  kAirUprightHandsDown = 16,
+  // -- landing ----------------------------------------------------------
+  kTouchdownKneesBentHandsForward = 17,
+  kTouchdownDeepHandsDown = 18,
+  kLandedSquatHandsForward = 19,
+  kLandedRisingHandsDown = 20,
+  kLandedWaistBentHandsForward = 21,  ///< paper: "waist bended & hand raised forward"
+
+  kUnknown = 22,  ///< classifier sentinel, not a trainable label
+};
+
+inline constexpr int kPoseCount = 22;
+
+/// The pose the classifier is reset to on the first frame of a clip.
+inline constexpr PoseId kResetPose = PoseId::kStandHandsOverlap;
+
+std::string_view pose_name(PoseId p);
+
+/// Stage a pose belongs to. kUnknown maps to kBeforeJumping by convention
+/// (callers should not rely on it).
+Stage stage_of(PoseId p);
+
+/// Dense index helpers.
+inline int index_of(PoseId p) { return static_cast<int>(p); }
+PoseId pose_from_index(int idx);
+
+inline int index_of(Stage s) { return static_cast<int>(s); }
+Stage stage_from_index(int idx);
+
+/// All poses belonging to a stage, in id order.
+std::array<PoseId, kPoseCount> all_poses();
+int poses_in_stage(Stage s, std::array<PoseId, kPoseCount>& out);
+
+/// Stage ordering: a jump progresses monotonically before → jumping → air →
+/// landing; a stage can repeat or advance by one, never go back or skip.
+bool stage_transition_allowed(Stage from, Stage to);
+
+}  // namespace slj::pose

@@ -1,0 +1,61 @@
+#include "segmentation/background_model.hpp"
+
+#include <stdexcept>
+
+namespace slj::seg {
+
+BackgroundModel::BackgroundModel(int window) : window_(window) {
+  if (window < 1 || window % 2 == 0) {
+    throw std::invalid_argument("background window must be odd and >= 1");
+  }
+}
+
+void BackgroundModel::accumulate(const RgbImage& frame) {
+  if (frame_count_ == 0) {
+    sum_r_ = Image<double>(frame.width(), frame.height());
+    sum_g_ = Image<double>(frame.width(), frame.height());
+    sum_b_ = Image<double>(frame.width(), frame.height());
+  } else if (frame.width() != sum_r_.width() || frame.height() != sum_r_.height()) {
+    throw std::invalid_argument("background frames must share one size");
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    sum_r_.data()[i] += frame.data()[i].r;
+    sum_g_.data()[i] += frame.data()[i].g;
+    sum_b_.data()[i] += frame.data()[i].b;
+  }
+  ++frame_count_;
+  mean_dirty_ = true;
+}
+
+void BackgroundModel::set_background(const RgbImage& frame) {
+  reset();
+  accumulate(frame);
+}
+
+void BackgroundModel::reset() {
+  frame_count_ = 0;
+  mean_dirty_ = true;
+}
+
+void BackgroundModel::rebuild_mean() const {
+  // Average the accumulated frames, then apply the paper's n×n moving
+  // window. Quantisation to uint8 first keeps this identical to feeding a
+  // single averaged frame through window_mean_rgb.
+  RgbImage avg(sum_r_.width(), sum_r_.height());
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    const double inv = 1.0 / frame_count_;
+    avg.data()[i] = {static_cast<std::uint8_t>(sum_r_.data()[i] * inv + 0.5),
+                     static_cast<std::uint8_t>(sum_g_.data()[i] * inv + 0.5),
+                     static_cast<std::uint8_t>(sum_b_.data()[i] * inv + 0.5)};
+  }
+  mean_ = window_mean_rgb(avg, window_);
+  mean_dirty_ = false;
+}
+
+const RgbMeans& BackgroundModel::averaged() const {
+  if (frame_count_ == 0) throw std::logic_error("background model has no frames");
+  if (mean_dirty_) rebuild_mean();
+  return mean_;
+}
+
+}  // namespace slj::seg

@@ -1,0 +1,45 @@
+// Background model for the paper's object-extraction algorithm (Sec. 2,
+// steps i–ii): the moving-window n×n per-channel average of the background
+// frame, optionally accumulated over several empty frames for stability
+// ("the light sources can be controlled and are more stable").
+#pragma once
+
+#include "imaging/image.hpp"
+#include "imaging/integral.hpp"
+
+namespace slj::seg {
+
+class BackgroundModel {
+ public:
+  /// `window` is the paper's n (odd). The model is empty until a frame is
+  /// accumulated.
+  explicit BackgroundModel(int window = 3);
+
+  /// Adds one empty-scene frame; the stored background is the running mean.
+  void accumulate(const RgbImage& frame);
+
+  /// Convenience: reset and accumulate exactly one frame.
+  void set_background(const RgbImage& frame);
+
+  void reset();
+
+  bool has_background() const { return frame_count_ > 0; }
+  int window() const { return window_; }
+  int width() const { return sum_r_.width(); }
+  int height() const { return sum_r_.height(); }
+
+  /// The paper's Bave: per-channel moving-window mean of the background.
+  const RgbMeans& averaged() const;
+
+ private:
+  int window_;
+  int frame_count_ = 0;
+  // Running per-pixel mean of raw background frames (before windowing).
+  Image<double> sum_r_, sum_g_, sum_b_;
+  mutable RgbMeans mean_;
+  mutable bool mean_dirty_ = true;
+
+  void rebuild_mean() const;
+};
+
+}  // namespace slj::seg

@@ -1,0 +1,56 @@
+// The paper's object-extraction algorithm (Sec. 2), steps i–viii, plus the
+// median-filter smoothing of Fig. 1(c) and a connected-component / hole-fill
+// cleanup so downstream thinning sees one solid silhouette.
+#pragma once
+
+#include <cstdint>
+
+#include "imaging/image.hpp"
+#include "segmentation/background_model.hpp"
+
+namespace slj::seg {
+
+struct ExtractorParams {
+  int window = 3;              ///< the paper's n (moving-window side)
+  std::uint8_t th_object = 20; ///< the paper's Th_Object
+  int median_window = 5;       ///< silhouette smoothing window (Fig. 1c)
+  bool keep_largest_only = true;
+  bool fill_holes = true;
+};
+
+/// Intermediate products, exposed so Fig. 1 can be regenerated stage by
+/// stage and so tests can pin each step.
+struct ExtractionResult {
+  Image<double> difference;   ///< D(i,j) = |ΔR| + |ΔG| + |ΔB|  (step iv)
+  double max_difference = 0;  ///< max of D                     (step v)
+  GrayImage normalized;       ///< R: shifted so max = 255, clamped at 0 (vi–vii)
+  BinaryImage raw_mask;       ///< Obj: R > Th_Object            (step viii)
+  BinaryImage smoothed;       ///< after median filter           (Fig. 1c)
+  BinaryImage silhouette;     ///< after largest-component + hole fill
+};
+
+class ObjectExtractor {
+ public:
+  explicit ObjectExtractor(ExtractorParams params = {});
+
+  /// Installs the empty-scene background (step i).
+  void set_background(const RgbImage& background);
+
+  /// Adds one more empty-scene frame to the background average.
+  void accumulate_background(const RgbImage& background);
+
+  bool has_background() const { return background_.has_background(); }
+  const ExtractorParams& params() const { return params_; }
+
+  /// Runs steps ii–viii plus smoothing on one frame.
+  ExtractionResult extract(const RgbImage& frame) const;
+
+  /// Shortcut returning only the final silhouette.
+  BinaryImage silhouette(const RgbImage& frame) const;
+
+ private:
+  ExtractorParams params_;
+  BackgroundModel background_;
+};
+
+}  // namespace slj::seg

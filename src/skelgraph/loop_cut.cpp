@@ -1,0 +1,71 @@
+#include "skelgraph/loop_cut.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace slj::skel {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int v) {
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      parent_[static_cast<std::size_t>(v)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+  /// Returns false if already united (the edge would close a cycle).
+  bool unite(int a, int b) {
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra == rb) return false;
+    parent_[static_cast<std::size_t>(ra)] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+LoopCutStats cut_loops(SkeletonGraph& graph, SpanningPolicy policy) {
+  LoopCutStats stats;
+  stats.loops_before = graph.cycle_count();
+
+  std::vector<int> order;
+  for (const Edge& e : graph.edges()) {
+    if (e.alive) order.push_back(e.id);
+  }
+  // Kruskal: consider longest (or shortest) segments first; ties broken by
+  // id for determinism.
+  std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    const double ll = graph.edge(lhs).length;
+    const double rl = graph.edge(rhs).length;
+    if (ll != rl) return policy == SpanningPolicy::kMaximum ? ll > rl : ll < rl;
+    return lhs < rhs;
+  });
+
+  UnionFind uf(graph.nodes().size());
+  for (const int id : order) {
+    const Edge& e = graph.edge(id);
+    if (e.a == e.b || !uf.unite(e.a, e.b)) {
+      stats.removed_length += e.length;
+      ++stats.edges_removed;
+      graph.kill_edge(id);
+    } else {
+      stats.kept_length += e.length;
+    }
+  }
+
+  stats.loops_after = graph.cycle_count();
+  return stats;
+}
+
+}  // namespace slj::skel

@@ -1,0 +1,30 @@
+// Loop cutting via a *maximum* spanning tree (paper Sec. 3, Fig. 3).
+//
+// The paper keeps maximum-length segments while growing the tree so that the
+// junction node substituted for a removed junction cluster stays connected
+// to all of its neighbours; short leftover stubs from the cluster collapse
+// are what get cut. kMinimum is provided for the Fig. 3 ablation that shows
+// why minimum trees are the wrong choice here.
+#pragma once
+
+#include <cstddef>
+
+#include "skelgraph/skeleton_graph.hpp"
+
+namespace slj::skel {
+
+enum class SpanningPolicy { kMaximum, kMinimum };
+
+struct LoopCutStats {
+  std::size_t loops_before = 0;
+  std::size_t loops_after = 0;
+  std::size_t edges_removed = 0;
+  double removed_length = 0.0;
+  double kept_length = 0.0;
+};
+
+/// Cuts every cycle by keeping a spanning forest of the alive subgraph.
+/// Self-loop edges are always removed. Returns what was cut.
+LoopCutStats cut_loops(SkeletonGraph& graph, SpanningPolicy policy = SpanningPolicy::kMaximum);
+
+}  // namespace slj::skel

@@ -1,0 +1,94 @@
+#include "skelgraph/prune.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace slj::skel {
+namespace {
+
+/// An edge is a prunable branch if one endpoint is an end-type leaf (degree
+/// 1) and the other endpoint still connects to the rest of the skeleton
+/// (degree >= 2). Isolated segments (end-to-end) are never pruned: they are
+/// the whole skeleton, not noise on it.
+bool is_leaf_branch(const SkeletonGraph& graph, const Edge& e) {
+  if (e.a == e.b) return false;
+  const int da = graph.degree(e.a);
+  const int db = graph.degree(e.b);
+  return (da == 1 && db >= 2) || (db == 1 && da >= 2);
+}
+
+/// Collects alive prunable branches shorter than the vertex threshold,
+/// shortest path first (ties by id for determinism).
+std::vector<int> short_branches(const SkeletonGraph& graph, int min_vertices) {
+  std::vector<int> out;
+  for (const Edge& e : graph.edges()) {
+    if (!e.alive || !is_leaf_branch(graph, e)) continue;
+    if (static_cast<int>(e.path.size()) < min_vertices) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end(), [&](int lhs, int rhs) {
+    const std::size_t ls = graph.edge(lhs).path.size();
+    const std::size_t rs = graph.edge(rhs).path.size();
+    if (ls != rs) return ls < rs;
+    return lhs < rhs;
+  });
+  return out;
+}
+
+void cleanup_anchor(SkeletonGraph& graph, int anchor) {
+  // The anchor junction may have become a pass-through point or a new end.
+  const int anchor_degree = graph.degree(anchor);
+  if (anchor_degree == 2) {
+    graph.merge_degree2_node(anchor);
+  } else if (anchor_degree == 1) {
+    graph.node(anchor).type = NodeType::kEnd;
+  } else if (anchor_degree == 0) {
+    graph.kill_node(anchor);
+  }
+}
+
+/// Kills the branch edge + leaf node; returns the anchor node id.
+int remove_branch(SkeletonGraph& graph, int edge_id, PruneStats& stats) {
+  const Edge& e = graph.edge(edge_id);
+  const int leaf = graph.degree(e.a) == 1 ? e.a : e.b;
+  const int anchor = leaf == e.a ? e.b : e.a;
+  stats.removed_length += e.length;
+  ++stats.branches_removed;
+  graph.kill_edge(edge_id);
+  graph.kill_node(leaf);
+  return anchor;
+}
+
+}  // namespace
+
+PruneStats prune_branches(SkeletonGraph& graph, int min_branch_vertices, PruningMode mode) {
+  PruneStats stats;
+  while (true) {
+    const std::vector<int> candidates = short_branches(graph, min_branch_vertices);
+    if (candidates.empty()) break;
+    ++stats.rounds;
+    if (mode == PruningMode::kOneAtATime) {
+      // Paper rule: exactly one branch per round; the anchor junction is
+      // dissolved (merged) immediately, so a sibling branch can fuse with
+      // the main path and escape the next round — exactly what protects the
+      // correct branch in Fig. 4(c).
+      cleanup_anchor(graph, remove_branch(graph, candidates.front(), stats));
+    } else {
+      // Strawman sweep ("delete both branches", Fig. 4b): remove every
+      // branch that was below threshold at the START of the sweep, and only
+      // merge pass-through junctions afterwards — sibling branches get no
+      // chance to fuse and survive.
+      std::vector<int> anchors;
+      for (const int id : candidates) {
+        if (graph.edge(id).alive && is_leaf_branch(graph, graph.edge(id))) {
+          anchors.push_back(remove_branch(graph, id, stats));
+        }
+      }
+      for (const int anchor : anchors) {
+        if (graph.node(anchor).alive) cleanup_anchor(graph, anchor);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace slj::skel

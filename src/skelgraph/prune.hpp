@@ -1,0 +1,35 @@
+// Noisy-branch pruning (paper Sec. 3, Fig. 4).
+//
+// A branch is a simple path from an end node to a junction node. Branches
+// shorter than `min_branch_vertices` (the paper uses 10) are treated as
+// thinning noise. The paper is explicit that ONLY ONE branch may be deleted
+// at a time: deleting all short branches at a junction in one sweep can
+// remove the correct branch together with the noisy one (Fig. 4b). After
+// each deletion, a junction left with degree 2 is spliced away so its two
+// segments fuse into one longer path — which is exactly what protects the
+// correct branch on the next round.
+#pragma once
+
+#include <cstddef>
+
+#include "skelgraph/skeleton_graph.hpp"
+
+namespace slj::skel {
+
+enum class PruningMode {
+  kOneAtATime,  ///< the paper's procedure
+  kBatch,       ///< delete every short branch per sweep (Fig. 4b strawman)
+};
+
+struct PruneStats {
+  std::size_t branches_removed = 0;
+  std::size_t rounds = 0;
+  double removed_length = 0.0;
+};
+
+/// Prunes noisy branches. `min_branch_vertices` counts pixels in the branch
+/// path (paper: "consists of less than 10 vertices").
+PruneStats prune_branches(SkeletonGraph& graph, int min_branch_vertices = 10,
+                          PruningMode mode = PruningMode::kOneAtATime);
+
+}  // namespace slj::skel

@@ -1,0 +1,101 @@
+#include "skelgraph/simplify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slj::skel {
+namespace {
+
+double point_to_chord_distance(PointI p, PointI a, PointI b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len = std::sqrt(abx * abx + aby * aby);
+  if (len < 1e-9) return distance(p, a);
+  const double cross = abx * (p.y - a.y) - aby * (p.x - a.x);
+  return std::abs(cross) / len;
+}
+
+void dp_recurse(const std::vector<PointI>& path, std::size_t lo, std::size_t hi,
+                double tolerance, std::vector<std::size_t>& keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  std::size_t worst_idx = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = point_to_chord_distance(path[i], path[lo], path[hi]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tolerance) {
+    dp_recurse(path, lo, worst_idx, tolerance, keep);
+    keep.push_back(worst_idx);
+    dp_recurse(path, worst_idx, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> douglas_peucker(const std::vector<PointI>& path, double tolerance) {
+  std::vector<std::size_t> keep;
+  if (path.empty()) return keep;
+  keep.push_back(0);
+  if (path.size() > 1) {
+    dp_recurse(path, 0, path.size() - 1, tolerance, keep);
+    keep.push_back(path.size() - 1);
+  }
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  return keep;
+}
+
+BendSplitStats split_edges_at_bends(SkeletonGraph& graph, double tolerance,
+                                    double min_segment_px) {
+  BendSplitStats stats;
+  const std::size_t edge_count = graph.edges().size();  // new edges appended after
+  for (std::size_t ei = 0; ei < edge_count; ++ei) {
+    const Edge edge = graph.edge(static_cast<int>(ei));  // copy: we mutate the graph
+    if (!edge.alive || edge.a == edge.b || edge.path.size() < 3) continue;
+    std::vector<std::size_t> keep = douglas_peucker(edge.path, tolerance);
+    if (keep.size() <= 2) continue;
+
+    // Drop interior vertices that would create very short segments.
+    std::vector<std::size_t> vertices{keep.front()};
+    for (std::size_t i = 1; i + 1 < keep.size(); ++i) {
+      if (distance(edge.path[vertices.back()], edge.path[keep[i]]) >= min_segment_px &&
+          distance(edge.path[keep[i]], edge.path[keep.back()]) >= min_segment_px) {
+        vertices.push_back(keep[i]);
+      }
+    }
+    vertices.push_back(keep.back());
+    if (vertices.size() <= 2) continue;
+
+    // Replace the edge with a chain of sub-edges through new bend nodes.
+    graph.kill_edge(edge.id);
+    ++stats.edges_split;
+    int prev_node = edge.a;
+    for (std::size_t v = 1; v < vertices.size(); ++v) {
+      int end_node;
+      if (v + 1 == vertices.size()) {
+        end_node = edge.b;
+      } else {
+        Node bend;
+        bend.pos = edge.path[vertices[v]];
+        bend.type = NodeType::kBend;
+        bend.cluster = {bend.pos};
+        end_node = graph.add_node(std::move(bend));
+        ++stats.bends_added;
+      }
+      Edge sub;
+      sub.a = prev_node;
+      sub.b = end_node;
+      sub.path.assign(edge.path.begin() + static_cast<std::ptrdiff_t>(vertices[v - 1]),
+                      edge.path.begin() + static_cast<std::ptrdiff_t>(vertices[v]) + 1);
+      graph.add_edge(std::move(sub));
+      prev_node = end_node;
+    }
+  }
+  return stats;
+}
+
+}  // namespace slj::skel

@@ -1,0 +1,33 @@
+// Piecewise-linear simplification of skeleton edges (following the spirit
+// of the paper's ref [7], Kégl & Krzyżak: skeletons as piecewise-LINEAR
+// structures). Long curved segments are split at their bend points
+// (Douglas–Peucker vertices), which turns articulations that produce no
+// junction — a bent knee or elbow inside a merged limb — into explicit key
+// points the pose features can use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "imaging/geometry.hpp"
+#include "skelgraph/skeleton_graph.hpp"
+
+namespace slj::skel {
+
+/// Douglas–Peucker polyline simplification: returns the indices (into
+/// `path`) of the kept vertices, always including both endpoints.
+std::vector<std::size_t> douglas_peucker(const std::vector<PointI>& path, double tolerance);
+
+struct BendSplitStats {
+  std::size_t bends_added = 0;
+  std::size_t edges_split = 0;
+};
+
+/// Splits every alive edge at its interior bend vertices. `tolerance` is
+/// the maximum pixel deviation a chain may have from the straight chord
+/// before it is split; `min_segment_px` suppresses bends that would create
+/// segments shorter than this.
+BendSplitStats split_edges_at_bends(SkeletonGraph& graph, double tolerance = 2.5,
+                                    double min_segment_px = 5.0);
+
+}  // namespace slj::skel

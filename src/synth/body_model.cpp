@@ -1,0 +1,82 @@
+#include "synth/body_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slj::synth {
+namespace {
+
+PointF rotate(PointF v, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * v.x - s * v.y, s * v.x + c * v.y};
+}
+
+}  // namespace
+
+BodyDimensions BodyDimensions::for_height(double height_m) {
+  BodyDimensions d;
+  d.height = height_m;
+  // Drillis–Contini style segment ratios, lightly adapted so that standing
+  // total (leg + torso + neck + head) reproduces the stature.
+  d.torso = 0.288 * height_m;
+  d.neck = 0.052 * height_m;
+  d.head_radius = 0.064 * height_m;
+  d.upper_arm = 0.186 * height_m;
+  d.forearm = 0.254 * height_m;  // forearm + hand
+  d.thigh = 0.245 * height_m;
+  d.shank = 0.246 * height_m;
+  d.foot = 0.152 * height_m;
+  d.torso_radius = 0.052 * height_m;
+  d.arm_radius = 0.019 * height_m;
+  d.thigh_radius = 0.030 * height_m;
+  d.shank_radius = 0.023 * height_m;
+  d.foot_radius = 0.015 * height_m;
+  return d;
+}
+
+JointPositions forward_kinematics(const BodyDimensions& body, const JointAngles& angles,
+                                  PointF root) {
+  JointPositions j;
+  j.pelvis = root;
+  j.hip = root;
+
+  // Torso axis: vertical tilted forward (toward +x) by torso_lean.
+  const PointF torso_dir = rotate({0.0, 1.0}, -angles.torso_lean);
+  j.neck = j.pelvis + torso_dir * body.torso;
+  j.chest = j.pelvis + torso_dir * (0.75 * body.torso);
+  j.shoulder = j.neck;
+
+  const PointF head_dir = rotate(torso_dir, -angles.neck_tilt);
+  j.head_center = j.neck + head_dir * (body.neck + body.head_radius);
+  j.head_top = j.neck + head_dir * (body.neck + 2.0 * body.head_radius);
+
+  // Arm: hangs along -torso_dir at shoulder angle 0; positive shoulder
+  // swings it forward (counter-clockwise brings (0,-1) toward (+1,0)).
+  const PointF upper_dir = rotate(torso_dir * -1.0, angles.shoulder);
+  j.elbow = j.shoulder + upper_dir * body.upper_arm;
+  const PointF forearm_dir = rotate(upper_dir, angles.elbow);
+  j.hand = j.elbow + forearm_dir * body.forearm;
+
+  // Leg: thigh hangs along -torso_dir at hip angle 0; positive hip lifts
+  // the thigh forward. The knee folds the shank backward (clockwise).
+  const PointF thigh_dir = rotate(torso_dir * -1.0, angles.hip);
+  j.knee = j.hip + thigh_dir * body.thigh;
+  const PointF shank_dir = rotate(thigh_dir, -angles.knee);
+  j.ankle = j.knee + shank_dir * body.shank;
+  const PointF foot_dir = rotate(shank_dir, angles.ankle);
+  j.toe = j.ankle + foot_dir * body.foot;
+  j.heel = j.ankle - foot_dir * (0.35 * body.foot);
+  return j;
+}
+
+double lowest_foot_offset(const BodyDimensions& body, const JointAngles& angles) {
+  const JointPositions j = forward_kinematics(body, angles, {0.0, 0.0});
+  return std::min({j.toe.y, j.heel.y, j.ankle.y - body.foot_radius});
+}
+
+double pelvis_height_for_ground_contact(const BodyDimensions& body, const JointAngles& angles) {
+  return -lowest_foot_offset(body, angles);
+}
+
+}  // namespace slj::synth

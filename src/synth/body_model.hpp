@@ -1,0 +1,82 @@
+// 2-D articulated body model, side view (the paper films jumps "from the
+// left-hand side of the jumper" precisely because 2-D information suffices).
+//
+// This is the substitute for the paper's studio footage: the model is posed
+// by the jump-motion generator, rasterised by the silhouette renderer, and
+// its joints provide the ground truth a human annotator supplied in the
+// original work.
+//
+// World coordinates: metres, x to the right (jump direction), y UP, ground
+// at y = 0. The renderer flips y into image rows.
+#pragma once
+
+#include "imaging/geometry.hpp"
+
+namespace slj::synth {
+
+/// Segment lengths in metres, scaled from stature. Defaults approximate a
+/// primary-school child of ~1.38 m using standard anthropometric ratios.
+struct BodyDimensions {
+  double height = 1.38;
+
+  double torso = 0.0;       ///< pelvis → neck
+  double neck = 0.0;        ///< neck → head centre offset
+  double head_radius = 0.0;
+  double upper_arm = 0.0;
+  double forearm = 0.0;     ///< elbow → hand tip (forearm + hand)
+  double thigh = 0.0;
+  double shank = 0.0;
+  double foot = 0.0;        ///< ankle → toe
+
+  /// Limb thicknesses (capsule radii) for the renderer, in metres.
+  double torso_radius = 0.072;
+  double arm_radius = 0.026;
+  double thigh_radius = 0.041;
+  double shank_radius = 0.032;
+  double foot_radius = 0.020;
+
+  /// Fills the segment lengths from `height` using anthropometric ratios.
+  static BodyDimensions for_height(double height_m);
+};
+
+/// Joint configuration, radians. All rotations are counter-clockwise in the
+/// x-right / y-up world frame; the jumper faces +x.
+struct JointAngles {
+  double torso_lean = 0.0;  ///< torso from vertical; + leans forward (toward +x)
+  double neck_tilt = 0.0;   ///< head relative to torso axis
+  double shoulder = 0.0;    ///< upper arm from "hanging along torso"; + swings forward/up
+  double elbow = 0.0;       ///< forearm flexion relative to upper arm; + bends forward
+  double hip = 0.0;         ///< thigh from "straight below torso"; + lifts thigh forward
+  double knee = 0.0;        ///< flexion; 0 = straight leg, + bends shank backward
+  double ankle = 1.5707963267948966;  ///< foot vs shank; ~pi/2 = flat foot
+};
+
+/// World-space joint positions produced by forward kinematics.
+struct JointPositions {
+  PointF pelvis;
+  PointF chest;        ///< 3/4 of the way up the torso (the "Chest" key part)
+  PointF neck;
+  PointF head_center;
+  PointF head_top;     ///< the "Head" key part
+  PointF shoulder;     ///< coincides with neck in this side-view model
+  PointF elbow;
+  PointF hand;         ///< the "Hand" key part
+  PointF hip;          ///< coincides with pelvis
+  PointF knee;         ///< the "Knee" key part
+  PointF ankle;
+  PointF heel;
+  PointF toe;          ///< the "Foot" key part
+};
+
+/// Forward kinematics with the pelvis at `root`.
+JointPositions forward_kinematics(const BodyDimensions& body, const JointAngles& angles,
+                                  PointF root);
+
+/// Lowest y across the foot points (toe/heel/ankle) with the pelvis at the
+/// origin; used to plant the feet on the ground (y = 0).
+double lowest_foot_offset(const BodyDimensions& body, const JointAngles& angles);
+
+/// Pelvis height such that the lowest foot point touches y = 0.
+double pelvis_height_for_ground_contact(const BodyDimensions& body, const JointAngles& angles);
+
+}  // namespace slj::synth

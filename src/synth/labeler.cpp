@@ -1,0 +1,128 @@
+#include "synth/labeler.hpp"
+
+#include <cmath>
+
+namespace slj::synth {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+constexpr double deg(double d) { return d * kPi / 180.0; }
+
+bool arms_forwardish(ArmDirection a) {
+  return a == ArmDirection::kForward || a == ArmDirection::kUp;
+}
+
+}  // namespace
+
+int cardinal_sector(PointF direction) {
+  const double sector = 2.0 * kPi / 8.0;
+  double angle = std::atan2(direction.y, direction.x) + sector / 2.0;
+  while (angle < 0.0) angle += 2.0 * kPi;
+  while (angle >= 2.0 * kPi) angle -= 2.0 * kPi;
+  const int s = static_cast<int>(angle / sector);
+  return s >= 8 ? 7 : s;
+}
+
+ArmDirection classify_arm(const BodyDimensions& body, const JointPositions& joints) {
+  // Judge from the hand's position relative to the mid-torso (what the
+  // waist-centred feature encoding sees).
+  const PointF centre = (joints.pelvis + joints.neck) / 2.0;
+  const PointF dir = joints.hand - centre;
+  // A hand close to the torso axis and below the shoulder reads as
+  // "overlapping with the body" regardless of exact angle.
+  const PointF axis = joints.neck - joints.pelvis;
+  const double axis_len = norm(axis);
+  if (axis_len > 1e-9 && joints.hand.y < joints.neck.y) {
+    const double cross = axis.x * (joints.hand.y - joints.pelvis.y) -
+                         axis.y * (joints.hand.x - joints.pelvis.x);
+    if (std::abs(cross) / axis_len < 1.6 * body.torso_radius) return ArmDirection::kDown;
+  }
+  switch (cardinal_sector(dir)) {
+    case 0:
+    case 1: return ArmDirection::kForward;   // ahead, ahead-up
+    case 2:
+    case 3: return ArmDirection::kUp;        // up, up-back
+    case 4:
+    case 5: return ArmDirection::kBackward;  // back, back-down
+    case 6: return ArmDirection::kDown;      // straight down
+    default: return ArmDirection::kForward;  // down-ahead
+  }
+}
+
+KneeBend classify_knee(double knee_flexion_rad) {
+  if (knee_flexion_rad < deg(30)) return KneeBend::kStraight;
+  if (knee_flexion_rad < deg(65)) return KneeBend::kBent;
+  return KneeBend::kDeep;
+}
+
+bool waist_bent(const JointAngles& angles) {
+  const bool pike = angles.hip >= deg(55) && angles.knee < deg(45);
+  return pike || angles.torso_lean >= deg(25);
+}
+
+pose::PoseId label_pose(const BodyDimensions& body, const MotionFrame& frame) {
+  using pose::PoseId;
+  const JointAngles& a = frame.angles;
+  const JointPositions joints = forward_kinematics(body, a, frame.pelvis);
+  const ArmDirection arm = classify_arm(body, joints);
+  const KneeBend knees = classify_knee(a.knee);
+  const bool fwd = arms_forwardish(arm);
+  // Thigh direction: forward-carried legs (tuck / reach) vs hanging.
+  const int thigh_sector = cardinal_sector(joints.knee - joints.pelvis);
+  const bool legs_carried = thigh_sector == 0 || thigh_sector == 7 || thigh_sector == 1;
+
+  switch (frame.stage) {
+    case pose::Stage::kBeforeJumping: {
+      if (knees != KneeBend::kStraight && (a.knee >= deg(50) || legs_carried)) {
+        return arm == ArmDirection::kBackward ? PoseId::kCrouchHandsBackward
+                                              : PoseId::kCrouchHandsForward;
+      }
+      if (waist_bent(a) && arm == ArmDirection::kBackward) {
+        return PoseId::kWaistBentHandsBackward;
+      }
+      switch (arm) {
+        case ArmDirection::kDown: return PoseId::kStandHandsOverlap;
+        case ArmDirection::kForward: return PoseId::kStandHandsForward;
+        case ArmDirection::kBackward: return PoseId::kStandHandsBackward;
+        case ArmDirection::kUp: return PoseId::kStandHandsUp;
+      }
+      return PoseId::kStandHandsOverlap;
+    }
+    case pose::Stage::kJumping: {
+      if (a.knee >= deg(45)) {
+        return arm == ArmDirection::kBackward ? PoseId::kTakeoffHandsBackward
+                                              : PoseId::kTakeoffLeanForward;
+      }
+      if (arm == ArmDirection::kUp) return PoseId::kExtendedHandsUp;
+      if (arm == ArmDirection::kForward) return PoseId::kExtendedHandsForward;
+      return a.torso_lean >= deg(14) ? PoseId::kTakeoffLeanForward
+                                     : PoseId::kExtendedHandsForward;
+    }
+    case pose::Stage::kInTheAir: {
+      if (knees == KneeBend::kDeep) {
+        return fwd ? PoseId::kAirTuckHandsForward : PoseId::kAirTuckHandsDown;
+      }
+      if (legs_carried) {
+        return fwd ? PoseId::kAirLegsReachForward : PoseId::kAirPikeHandsDown;
+      }
+      return fwd ? PoseId::kAirExtendedHandsForward : PoseId::kAirUprightHandsDown;
+    }
+    case pose::Stage::kLanding: {
+      if (legs_carried && knees != KneeBend::kStraight) {
+        return fwd ? PoseId::kTouchdownKneesBentHandsForward : PoseId::kTouchdownDeepHandsDown;
+      }
+      if (knees == KneeBend::kDeep ||
+          (knees == KneeBend::kBent && a.hip >= deg(40))) {
+        return fwd ? PoseId::kLandedSquatHandsForward : PoseId::kTouchdownDeepHandsDown;
+      }
+      if (fwd) {
+        return PoseId::kLandedWaistBentHandsForward;
+      }
+      return PoseId::kLandedRisingHandsDown;
+    }
+  }
+  return PoseId::kStandHandsOverlap;
+}
+
+}  // namespace slj::synth

@@ -1,0 +1,39 @@
+// Ground-truth pose labelling: maps a motion frame (joint angles + stage)
+// to one of the 22 catalogue poses. This plays the role of the human
+// annotator who labelled the paper's 522 training and 135 test frames.
+//
+// The annotator judges what is VISIBLE: the directions of the hand and the
+// knee relative to the body centre, knee flexion, trunk bend. The
+// categories are therefore derived from forward-kinematics positions and
+// quantized on the same 45° grid the pose features use, so the labels are
+// learnable from the skeleton features (as they were for the original
+// annotators, who looked at the same silhouettes the system processed).
+#pragma once
+
+#include "pose/pose_catalog.hpp"
+#include "synth/body_model.hpp"
+#include "synth/jump_motion.hpp"
+
+namespace slj::synth {
+
+/// Visible arm direction, judged from the hand position relative to the
+/// upper body.
+enum class ArmDirection { kDown, kForward, kUp, kBackward };
+
+/// Visible knee flexion.
+enum class KneeBend { kStraight, kBent, kDeep };
+
+/// Cardinal-8 sector of a direction vector (y-up world space), sector 0
+/// centred on "straight ahead" (+x), counter-clockwise, each 45° wide.
+int cardinal_sector(PointF direction);
+
+ArmDirection classify_arm(const BodyDimensions& body, const JointPositions& joints);
+KneeBend classify_knee(double knee_flexion_rad);
+
+/// True when the trunk is folded forward relative to the legs.
+bool waist_bent(const JointAngles& angles);
+
+/// The ground-truth pose for one motion frame.
+pose::PoseId label_pose(const BodyDimensions& body, const MotionFrame& frame);
+
+}  // namespace slj::synth

@@ -1,0 +1,116 @@
+#include "synth/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/draw.hpp"
+
+namespace slj::synth {
+
+SilhouetteRenderer::SilhouetteRenderer(CameraConfig config) : config_(config) {}
+
+PointF SilhouetteRenderer::project(PointF world) const {
+  return {config_.origin_x_px + world.x * config_.pixels_per_meter,
+          config_.ground_y_px - world.y * config_.pixels_per_meter};
+}
+
+BinaryImage SilhouetteRenderer::render_silhouette(const BodyDimensions& body,
+                                                  const JointAngles& angles,
+                                                  PointF pelvis_world) const {
+  BinaryImage img(config_.width, config_.height, 0);
+  const JointPositions j = forward_kinematics(body, angles, pelvis_world);
+  const double s = config_.pixels_per_meter;
+
+  // Torso, head, arm, leg, foot as overlapping capsules/discs — the side
+  // view merges both arms (and both legs) into one limb each, exactly the
+  // ambiguity the paper's skeletons face.
+  fill_capsule(img, project(j.pelvis), project(j.neck), body.torso_radius * s);
+  fill_disc(img, project(j.head_center), body.head_radius * s);
+  fill_capsule(img, project(j.neck), project(j.head_center), body.arm_radius * 1.4 * s);
+  fill_capsule(img, project(j.shoulder), project(j.elbow), body.arm_radius * s);
+  fill_capsule(img, project(j.elbow), project(j.hand), body.arm_radius * 0.85 * s);
+  fill_capsule(img, project(j.hip), project(j.knee), body.thigh_radius * s);
+  fill_capsule(img, project(j.knee), project(j.ankle), body.shank_radius * s);
+  fill_capsule(img, project(j.heel), project(j.toe), body.foot_radius * s);
+  return img;
+}
+
+BinaryImage SilhouetteRenderer::render_stick(const BodyDimensions& body,
+                                             const JointAngles& angles, PointF pelvis_world,
+                                             double stick_radius_px) const {
+  BinaryImage img(config_.width, config_.height, 0);
+  const JointPositions j = forward_kinematics(body, angles, pelvis_world);
+  fill_capsule(img, project(j.pelvis), project(j.neck), stick_radius_px);
+  fill_capsule(img, project(j.neck), project(j.head_top), stick_radius_px);
+  fill_capsule(img, project(j.shoulder), project(j.elbow), stick_radius_px);
+  fill_capsule(img, project(j.elbow), project(j.hand), stick_radius_px);
+  fill_capsule(img, project(j.hip), project(j.knee), stick_radius_px);
+  fill_capsule(img, project(j.knee), project(j.ankle), stick_radius_px);
+  fill_capsule(img, project(j.ankle), project(j.toe), stick_radius_px);
+  return img;
+}
+
+namespace {
+
+std::uint8_t clamp_channel(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+}  // namespace
+
+RgbImage SilhouetteRenderer::render_frame(const BodyDimensions& body, const JointAngles& angles,
+                                          PointF pelvis_world, std::mt19937& rng) const {
+  const BinaryImage mask = render_silhouette(body, angles, pelvis_world);
+  RgbImage frame(config_.width, config_.height);
+  std::normal_distribution<double> noise(0.0, config_.sensor_noise_sigma);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      Rgb base = mask.at(x, y) ? config_.clothing : config_.background;
+      // Mild vertical studio-light gradient on the background.
+      double gradient = mask.at(x, y) ? 0.0 : 6.0 * (1.0 - static_cast<double>(y) / frame.height());
+      double r = base.r + gradient + noise(rng);
+      double g = base.g + gradient + noise(rng);
+      double b = base.b + gradient + noise(rng);
+      if (mask.at(x, y) && unit(rng) < config_.speckle_fraction) {
+        // Dark speckle on clothing: folds/shadows that punch small holes in
+        // the thresholded silhouette (Fig. 1b).
+        r -= config_.speckle_strength;
+        g -= config_.speckle_strength;
+        b -= config_.speckle_strength;
+      }
+      frame.at(x, y) = {clamp_channel(r), clamp_channel(g), clamp_channel(b)};
+    }
+  }
+  return frame;
+}
+
+RgbImage SilhouetteRenderer::render_background(std::mt19937& rng) const {
+  RgbImage frame(config_.width, config_.height);
+  std::normal_distribution<double> noise(0.0, config_.sensor_noise_sigma);
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const double gradient = 6.0 * (1.0 - static_cast<double>(y) / frame.height());
+      frame.at(x, y) = {clamp_channel(config_.background.r + gradient + noise(rng)),
+                        clamp_channel(config_.background.g + gradient + noise(rng)),
+                        clamp_channel(config_.background.b + gradient + noise(rng))};
+    }
+  }
+  return frame;
+}
+
+PartTruth SilhouetteRenderer::part_truth(const BodyDimensions& body, const JointAngles& angles,
+                                         PointF pelvis_world) const {
+  const JointPositions j = forward_kinematics(body, angles, pelvis_world);
+  PartTruth t;
+  t.head = project(j.head_top);
+  t.chest = project(j.chest);
+  t.hand = project(j.hand);
+  t.knee = project(j.knee);
+  t.foot = project(j.toe);
+  t.waist = project(j.pelvis);
+  return t;
+}
+
+}  // namespace slj::synth

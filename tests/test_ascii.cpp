@@ -1,0 +1,49 @@
+#include "imaging/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj {
+namespace {
+
+TEST(AsciiRender, EmptyImageGivesEmptyString) {
+  EXPECT_TRUE(ascii_render(BinaryImage()).empty());
+}
+
+TEST(AsciiRender, SmallImageRendersOneCharPerPixelColumn) {
+  BinaryImage img(4, 2, 0);
+  img.at(0, 0) = 1;
+  img.at(3, 0) = 1;
+  const std::string out = ascii_render(img, 72);
+  // 4 columns fit in 72, so sx = 1, sy = 2 → a single row.
+  EXPECT_EQ(out, "#..#\n");
+}
+
+TEST(AsciiRender, DownsamplesWideImages) {
+  BinaryImage img(144, 10, 1);
+  const std::string out = ascii_render(img, 72);
+  const std::size_t first_line = out.find('\n');
+  EXPECT_LE(first_line, 72u);
+  // All cells are on.
+  for (const char c : out) {
+    if (c != '\n') EXPECT_EQ(c, '#');
+  }
+}
+
+TEST(AsciiRenderOverlay, MarksSkeletonInsideSilhouette) {
+  BinaryImage sil(4, 2, 1);
+  BinaryImage skel(4, 2, 0);
+  skel.at(1, 0) = 1;
+  const std::string out = ascii_render_overlay(sil, skel, 72);
+  EXPECT_EQ(out, "#*##\n");
+}
+
+TEST(AsciiRenderOverlay, MarksSkeletonOutsideSilhouetteDifferently) {
+  BinaryImage sil(3, 2, 0);
+  BinaryImage skel(3, 2, 0);
+  skel.at(2, 0) = 1;
+  const std::string out = ascii_render_overlay(sil, skel, 72);
+  EXPECT_EQ(out, "..+\n");
+}
+
+}  // namespace
+}  // namespace slj

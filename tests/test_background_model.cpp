@@ -1,0 +1,71 @@
+#include "segmentation/background_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::seg {
+namespace {
+
+RgbImage constant_frame(int w, int h, Rgb value) { return RgbImage(w, h, value); }
+
+TEST(BackgroundModel, ThrowsOnEvenWindow) {
+  EXPECT_THROW(BackgroundModel(2), std::invalid_argument);
+  EXPECT_THROW(BackgroundModel(0), std::invalid_argument);
+}
+
+TEST(BackgroundModel, EmptyModelHasNoBackground) {
+  BackgroundModel model(3);
+  EXPECT_FALSE(model.has_background());
+  EXPECT_THROW(model.averaged(), std::logic_error);
+}
+
+TEST(BackgroundModel, SingleFrameAverageEqualsWindowMean) {
+  BackgroundModel model(3);
+  model.set_background(constant_frame(8, 6, {30, 60, 90}));
+  EXPECT_TRUE(model.has_background());
+  const RgbMeans& m = model.averaged();
+  EXPECT_DOUBLE_EQ(m.r.at(4, 3), 30.0);
+  EXPECT_DOUBLE_EQ(m.g.at(4, 3), 60.0);
+  EXPECT_DOUBLE_EQ(m.b.at(4, 3), 90.0);
+}
+
+TEST(BackgroundModel, AccumulationAveragesFrames) {
+  BackgroundModel model(1);
+  model.accumulate(constant_frame(4, 4, {10, 10, 10}));
+  model.accumulate(constant_frame(4, 4, {30, 30, 30}));
+  const RgbMeans& m = model.averaged();
+  EXPECT_DOUBLE_EQ(m.r.at(2, 2), 20.0);
+}
+
+TEST(BackgroundModel, MismatchedFrameSizeThrows) {
+  BackgroundModel model(3);
+  model.accumulate(constant_frame(4, 4, {}));
+  EXPECT_THROW(model.accumulate(constant_frame(5, 4, {})), std::invalid_argument);
+}
+
+TEST(BackgroundModel, DimensionsAvailableBeforeAveraging) {
+  BackgroundModel model(3);
+  model.set_background(constant_frame(9, 7, {}));
+  EXPECT_EQ(model.width(), 9);
+  EXPECT_EQ(model.height(), 7);
+}
+
+TEST(BackgroundModel, ResetForgetsFrames) {
+  BackgroundModel model(3);
+  model.set_background(constant_frame(4, 4, {50, 50, 50}));
+  model.reset();
+  EXPECT_FALSE(model.has_background());
+  model.set_background(constant_frame(4, 4, {80, 80, 80}));
+  EXPECT_DOUBLE_EQ(model.averaged().r.at(1, 1), 80.0);
+}
+
+TEST(BackgroundModel, WindowSmoothsSpatialVariation) {
+  RgbImage bg(3, 1, {0, 0, 0});
+  bg.at(0, 0) = {90, 0, 0};
+  BackgroundModel model(3);
+  model.set_background(bg);
+  // Centre pixel's 3x3 (clamped to 3x1) window covers all three pixels.
+  EXPECT_DOUBLE_EQ(model.averaged().r.at(1, 0), 30.0);
+}
+
+}  // namespace
+}  // namespace slj::seg

@@ -1,0 +1,191 @@
+#include "detection/blob_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.hpp"
+
+namespace slj::detect {
+namespace {
+
+/// A person-sized blob: a 12×40 rectangle at (x, y) top-left.
+BinaryImage person_at(int x, int y, int w = 140, int h = 90) {
+  BinaryImage img(w, h, 0);
+  for (int yy = y; yy < y + 40 && yy < h; ++yy) {
+    for (int xx = x; xx < x + 12 && xx < w; ++xx) {
+      if (yy >= 0 && xx >= 0) img.at(xx, yy) = 1;
+    }
+  }
+  return img;
+}
+
+TrackerConfig fast_confirm() {
+  TrackerConfig cfg;
+  cfg.confirm_after = 1;
+  return cfg;
+}
+
+TEST(PersonModel, RejectsTooSmallAndTooElongated) {
+  BlobTracker tracker;
+  ComponentStats speck;
+  speck.area = 10;
+  speck.min = {0, 0};
+  speck.max = {3, 3};
+  EXPECT_FALSE(tracker.is_person_like(speck));
+
+  ComponentStats wire;
+  wire.area = 600;
+  wire.min = {0, 0};
+  wire.max = {140, 3};  // 141 wide, 4 tall
+  EXPECT_FALSE(tracker.is_person_like(wire));
+
+  ComponentStats person;
+  person.area = 480;
+  person.min = {10, 10};
+  person.max = {21, 49};  // 12 × 40
+  EXPECT_TRUE(tracker.is_person_like(person));
+}
+
+TEST(BlobTracker, EmptyFrameHasNoTrack) {
+  BlobTracker tracker;
+  const TrackResult r = tracker.update(BinaryImage(100, 80, 0));
+  EXPECT_EQ(r.state, TrackState::kNone);
+  EXPECT_FALSE(r.person_present);
+  EXPECT_FALSE(r.measured);
+}
+
+TEST(BlobTracker, ConfirmsAfterPersistentDetections) {
+  BlobTracker tracker(fast_confirm());
+  TrackResult r = tracker.update(person_at(20, 30));
+  EXPECT_EQ(r.state, TrackState::kTentative);
+  EXPECT_FALSE(r.person_present);
+  r = tracker.update(person_at(22, 30));
+  EXPECT_EQ(r.state, TrackState::kConfirmed);
+  EXPECT_TRUE(r.person_present);
+  EXPECT_TRUE(r.measured);
+}
+
+TEST(BlobTracker, FollowsMovingBlob) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 8; ++step) {
+    const TrackResult r = tracker.update(person_at(10 + step * 6, 30));
+    if (step >= 2) {
+      EXPECT_TRUE(r.person_present) << "step " << step;
+      EXPECT_NEAR(r.centroid.x, 10 + step * 6 + 5.5, 1.0);
+    }
+  }
+}
+
+TEST(BlobTracker, VelocityEstimateTracksMotion) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 10; ++step) tracker.update(person_at(10 + step * 5, 30));
+  TrackResult r = tracker.update(person_at(60, 30));
+  // Average horizontal speed ~5 px/frame (the last update moved backward a
+  // touch, so allow slack).
+  EXPECT_GT(r.velocity.x, 1.0);
+}
+
+TEST(BlobTracker, CoastsThroughShortDropouts) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 4; ++step) tracker.update(person_at(10 + step * 6, 30));
+  // Two empty frames: the track coasts on its velocity.
+  TrackResult r = tracker.update(BinaryImage(140, 90, 0));
+  EXPECT_EQ(r.state, TrackState::kCoasting);
+  EXPECT_TRUE(r.person_present);
+  r = tracker.update(BinaryImage(140, 90, 0));
+  EXPECT_EQ(r.state, TrackState::kCoasting);
+  // Reappears close to the prediction: re-confirmed.
+  r = tracker.update(person_at(10 + 6 * 6, 30));
+  EXPECT_EQ(r.state, TrackState::kConfirmed);
+}
+
+TEST(BlobTracker, DropsTrackAfterLongDropout) {
+  TrackerConfig cfg = fast_confirm();
+  cfg.max_misses = 2;
+  BlobTracker tracker(cfg);
+  for (int step = 0; step < 4; ++step) tracker.update(person_at(20, 30));
+  for (int i = 0; i < 3; ++i) tracker.update(BinaryImage(140, 90, 0));
+  EXPECT_EQ(tracker.state(), TrackState::kNone);
+}
+
+TEST(BlobTracker, GateRejectsTeleportingBlob) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 3; ++step) tracker.update(person_at(10, 30));
+  // The only blob jumps across the frame, far outside the gate.
+  const TrackResult r = tracker.update(person_at(120, 30, 200, 90));
+  EXPECT_FALSE(r.measured);
+  EXPECT_EQ(r.state, TrackState::kCoasting);
+}
+
+TEST(BlobTracker, PicksTrackedBlobNotLargest) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 3; ++step) tracker.update(person_at(20, 30, 220, 90));
+  // A bigger distractor person enters far away; the track must stay on the
+  // original blob.
+  BinaryImage both(220, 90, 0);
+  for (int y = 30; y < 70; ++y) {
+    for (int x = 20; x < 32; ++x) both.at(x, y) = 1;      // tracked person
+    for (int x = 160; x < 180; ++x) both.at(x, y) = 1;    // larger distractor
+  }
+  const TrackResult r = tracker.update(both);
+  ASSERT_TRUE(r.measured);
+  EXPECT_NEAR(r.centroid.x, 25.5, 2.0);
+  // The output mask contains only the tracked blob.
+  EXPECT_EQ(r.mask.at(165, 40), 0);
+  EXPECT_EQ(r.mask.at(25, 40), 1);
+}
+
+TEST(BlobTracker, MaskMatchesBlobExactly) {
+  BlobTracker tracker(fast_confirm());
+  tracker.update(person_at(20, 30));
+  const TrackResult r = tracker.update(person_at(20, 30));
+  ASSERT_TRUE(r.measured);
+  EXPECT_EQ(count_foreground(r.mask), r.blob.area);
+}
+
+TEST(BlobTracker, ResetForgetsEverything) {
+  BlobTracker tracker(fast_confirm());
+  for (int step = 0; step < 3; ++step) tracker.update(person_at(20, 30));
+  tracker.reset();
+  EXPECT_EQ(tracker.state(), TrackState::kNone);
+  const TrackResult r = tracker.update(person_at(20, 30));
+  EXPECT_EQ(r.state, TrackState::kTentative);
+}
+
+}  // namespace
+}  // namespace slj::detect
+
+namespace slj::detect {
+namespace {
+
+TEST(BlobTracker, StartHintPicksBlobAtTheTakeoffLine) {
+  // Two person-like blobs; the hint selects the smaller one at the line.
+  TrackerConfig cfg;
+  cfg.confirm_after = 1;
+  cfg.start_x_hint = 26.0;
+  BlobTracker tracker(cfg);
+  BinaryImage both(220, 90, 0);
+  for (int y = 30; y < 70; ++y) {
+    for (int x = 20; x < 32; ++x) both.at(x, y) = 1;    // at the line
+    for (int x = 160; x < 180; ++x) both.at(x, y) = 1;  // bigger, far away
+  }
+  const TrackResult r = tracker.update(both);
+  ASSERT_TRUE(r.measured);
+  EXPECT_NEAR(r.centroid.x, 25.5, 2.0);
+}
+
+TEST(BlobTracker, WithoutHintLargestWins) {
+  TrackerConfig cfg;
+  cfg.confirm_after = 1;
+  BlobTracker tracker(cfg);
+  BinaryImage both(220, 90, 0);
+  for (int y = 30; y < 70; ++y) {
+    for (int x = 20; x < 32; ++x) both.at(x, y) = 1;
+    for (int x = 160; x < 180; ++x) both.at(x, y) = 1;
+  }
+  const TrackResult r = tracker.update(both);
+  ASSERT_TRUE(r.measured);
+  EXPECT_NEAR(r.centroid.x, 169.5, 2.0);
+}
+
+}  // namespace
+}  // namespace slj::detect

@@ -1,0 +1,131 @@
+#include "synth/body_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slj::synth {
+namespace {
+
+constexpr double deg(double d) { return d * 3.14159265358979323846 / 180.0; }
+
+TEST(BodyDimensions, ScalesWithHeight) {
+  const BodyDimensions small = BodyDimensions::for_height(1.20);
+  const BodyDimensions tall = BodyDimensions::for_height(1.60);
+  EXPECT_NEAR(tall.torso / small.torso, 1.60 / 1.20, 1e-9);
+  EXPECT_NEAR(tall.thigh / small.thigh, 1.60 / 1.20, 1e-9);
+  EXPECT_GT(small.torso, 0.0);
+  EXPECT_GT(small.head_radius, 0.0);
+}
+
+TEST(BodyDimensions, SegmentsSumRoughlyToStature) {
+  const BodyDimensions d = BodyDimensions::for_height(1.40);
+  const double standing =
+      d.thigh + d.shank + d.torso + d.neck + 2.0 * d.head_radius;
+  EXPECT_NEAR(standing, 1.40 * 0.90, 0.10);  // legs+trunk+head ≈ stature minus foot height
+}
+
+TEST(ForwardKinematics, NeutralPoseIsUprightStack) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles neutral;  // all zero, ankle = pi/2
+  const JointPositions j = forward_kinematics(body, neutral, {0.0, 0.8});
+  // Torso straight up.
+  EXPECT_NEAR(j.neck.x, 0.0, 1e-9);
+  EXPECT_NEAR(j.neck.y, 0.8 + body.torso, 1e-9);
+  EXPECT_GT(j.head_top.y, j.neck.y);
+  // Legs straight down.
+  EXPECT_NEAR(j.knee.x, 0.0, 1e-9);
+  EXPECT_NEAR(j.knee.y, 0.8 - body.thigh, 1e-9);
+  EXPECT_NEAR(j.ankle.y, 0.8 - body.thigh - body.shank, 1e-9);
+  // Flat foot points forward (+x).
+  EXPECT_GT(j.toe.x, j.ankle.x);
+  EXPECT_NEAR(j.toe.y, j.ankle.y, 1e-9);
+  // Arm hangs along the torso.
+  EXPECT_NEAR(j.hand.x, 0.0, 1e-9);
+  EXPECT_LT(j.hand.y, j.shoulder.y);
+}
+
+TEST(ForwardKinematics, PositiveShoulderSwingsArmForward) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.shoulder = deg(90);
+  const JointPositions j = forward_kinematics(body, a, {0.0, 0.8});
+  EXPECT_GT(j.hand.x, 0.1);                       // ahead of the body
+  EXPECT_NEAR(j.hand.y, j.shoulder.y, 1e-9);      // horizontal arm
+}
+
+TEST(ForwardKinematics, NegativeShoulderSwingsArmBackward) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.shoulder = deg(-45);
+  const JointPositions j = forward_kinematics(body, a, {0.0, 0.8});
+  EXPECT_LT(j.hand.x, -0.05);
+}
+
+TEST(ForwardKinematics, TorsoLeanTiltsForward) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.torso_lean = deg(30);
+  const JointPositions j = forward_kinematics(body, a, {0.0, 0.8});
+  EXPECT_GT(j.neck.x, 0.1);       // neck ahead of pelvis
+  EXPECT_LT(j.neck.y, 0.8 + body.torso);  // and lower than upright
+}
+
+TEST(ForwardKinematics, KneeFlexionFoldsShankBackward) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.knee = deg(90);
+  const JointPositions j = forward_kinematics(body, a, {0.0, 0.8});
+  // Thigh still straight down; shank horizontal pointing backward.
+  EXPECT_NEAR(j.knee.x, 0.0, 1e-9);
+  EXPECT_LT(j.ankle.x, -0.1);
+  EXPECT_NEAR(j.ankle.y, j.knee.y, 1e-9);
+}
+
+TEST(ForwardKinematics, HipFlexionLiftsThigh) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.hip = deg(90);
+  const JointPositions j = forward_kinematics(body, a, {0.0, 0.8});
+  EXPECT_GT(j.knee.x, 0.1);
+  EXPECT_NEAR(j.knee.y, 0.8, 1e-9);
+}
+
+TEST(ForwardKinematics, ChestLiesOnTorso) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles a;
+  a.torso_lean = deg(20);
+  const JointPositions j = forward_kinematics(body, a, {0.3, 0.8});
+  // Chest is 3/4 of the way pelvis→neck.
+  const PointF expect = j.pelvis + (j.neck - j.pelvis) * 0.75;
+  EXPECT_NEAR(j.chest.x, expect.x, 1e-9);
+  EXPECT_NEAR(j.chest.y, expect.y, 1e-9);
+}
+
+TEST(GroundContact, NeutralStandingPelvisHeightIsLegLength) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles neutral;
+  const double h = pelvis_height_for_ground_contact(body, neutral);
+  // Toe and ankle at the same y for a flat foot; lowest point includes the
+  // ankle pad (foot radius).
+  EXPECT_NEAR(h, body.thigh + body.shank + body.foot_radius, 1e-9);
+}
+
+TEST(GroundContact, CrouchLowersPelvis) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles neutral;
+  JointAngles crouch;
+  crouch.hip = deg(60);
+  crouch.knee = deg(80);
+  EXPECT_LT(pelvis_height_for_ground_contact(body, crouch),
+            pelvis_height_for_ground_contact(body, neutral));
+}
+
+TEST(GroundContact, LowestFootOffsetIsNegativeBelowPelvis) {
+  const BodyDimensions body = BodyDimensions::for_height(1.40);
+  JointAngles neutral;
+  EXPECT_LT(lowest_foot_offset(body, neutral), 0.0);
+}
+
+}  // namespace
+}  // namespace slj::synth

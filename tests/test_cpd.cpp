@@ -1,0 +1,125 @@
+#include "bayes/cpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+namespace slj::bayes {
+namespace {
+
+TEST(TabularCpd, UntrainedIsUniform) {
+  TabularCpd cpd(4, {}, 1.0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(cpd.prob(s, {}), 0.25);
+  }
+}
+
+TEST(TabularCpd, ZeroAlphaNoDataFallsBackToUniform) {
+  TabularCpd cpd(3, {}, 0.0);
+  EXPECT_DOUBLE_EQ(cpd.prob(0, {}), 1.0 / 3.0);
+}
+
+TEST(TabularCpd, CountingMatchesMaximumLikelihoodWithSmoothing) {
+  TabularCpd cpd(2, {}, 1.0);
+  for (int i = 0; i < 3; ++i) cpd.observe(1, {});
+  cpd.observe(0, {});
+  // P(1) = (3 + 1) / (4 + 2) = 2/3
+  EXPECT_DOUBLE_EQ(cpd.prob(1, {}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cpd.prob(0, {}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cpd.total_weight(), 4.0);
+}
+
+TEST(TabularCpd, RowsAreIndependent) {
+  TabularCpd cpd(2, {2}, 0.5);
+  const int p0[1] = {0};
+  const int p1[1] = {1};
+  cpd.observe(1, p0, 10.0);
+  EXPECT_GT(cpd.prob(1, p0), 0.9);
+  EXPECT_DOUBLE_EQ(cpd.prob(1, p1), 0.5);  // untouched row stays uniform
+}
+
+TEST(TabularCpd, WeightedObservations) {
+  TabularCpd cpd(2, {}, 0.0);
+  cpd.observe(0, {}, 3.0);
+  cpd.observe(1, {}, 1.0);
+  EXPECT_DOUBLE_EQ(cpd.prob(0, {}), 0.75);
+}
+
+TEST(TabularCpd, DistributionSumsToOnePerRow) {
+  TabularCpd cpd(5, {3, 2}, 0.7);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const int parents[2] = {static_cast<int>(rng() % 3), static_cast<int>(rng() % 2)};
+    cpd.observe(static_cast<int>(rng() % 5), parents);
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const int parents[2] = {a, b};
+      double sum = 0.0;
+      for (int s = 0; s < 5; ++s) sum += cpd.prob(s, parents);
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(TabularCpd, MixedRadixRowIndexing) {
+  TabularCpd cpd(2, {2, 3}, 0.0);
+  const int parents[2] = {1, 2};
+  cpd.observe(1, parents);
+  EXPECT_DOUBLE_EQ(cpd.count(1, parents), 1.0);
+  const int other[2] = {1, 1};
+  EXPECT_DOUBLE_EQ(cpd.count(1, other), 0.0);
+  EXPECT_EQ(cpd.row_count(), 6u);
+}
+
+TEST(TabularCpd, ClearResetsCounts) {
+  TabularCpd cpd(2, {}, 1.0);
+  cpd.observe(1, {}, 5.0);
+  cpd.clear();
+  EXPECT_DOUBLE_EQ(cpd.prob(1, {}), 0.5);
+  EXPECT_DOUBLE_EQ(cpd.total_weight(), 0.0);
+}
+
+TEST(TabularCpd, InvalidArgumentsThrow) {
+  EXPECT_THROW(TabularCpd(0, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(TabularCpd(2, {0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(TabularCpd(2, {}, -1.0), std::invalid_argument);
+  TabularCpd cpd(2, {2}, 1.0);
+  const int bad_state[1] = {5};
+  EXPECT_THROW(cpd.observe(0, bad_state), std::out_of_range);
+  EXPECT_THROW(cpd.prob(3, bad_state), std::out_of_range);
+  EXPECT_THROW(cpd.prob(0, {}), std::invalid_argument);  // missing parents
+}
+
+TEST(DeterministicCpd, ComputesFunction) {
+  // child = parent0 XOR parent1
+  DeterministicCpd cpd(2, {2, 2},
+                       [](std::span<const int> p) { return p[0] ^ p[1]; });
+  const int p01[2] = {0, 1};
+  EXPECT_DOUBLE_EQ(cpd.prob(1, p01), 1.0);
+  EXPECT_DOUBLE_EQ(cpd.prob(0, p01), 0.0);
+  const int p11[2] = {1, 1};
+  EXPECT_DOUBLE_EQ(cpd.prob(0, p11), 1.0);
+}
+
+TEST(DeterministicCpd, RequiresFunction) {
+  EXPECT_THROW(DeterministicCpd(2, {2}, nullptr), std::invalid_argument);
+}
+
+TEST(FixedCpd, ReturnsTableValues) {
+  FixedCpd cpd(2, {2}, {0.9, 0.1, 0.3, 0.7});
+  const int p0[1] = {0};
+  const int p1[1] = {1};
+  EXPECT_DOUBLE_EQ(cpd.prob(0, p0), 0.9);
+  EXPECT_DOUBLE_EQ(cpd.prob(1, p1), 0.7);
+}
+
+TEST(FixedCpd, ValidatesRows) {
+  EXPECT_THROW(FixedCpd(2, {}, {0.5, 0.6}), std::invalid_argument);   // sums to 1.1
+  EXPECT_THROW(FixedCpd(2, {}, {-0.1, 1.1}), std::invalid_argument);  // negative
+  EXPECT_THROW(FixedCpd(2, {}, {1.0}), std::invalid_argument);        // size mismatch
+}
+
+}  // namespace
+}  // namespace slj::bayes

@@ -1,0 +1,113 @@
+#include "synth/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::synth {
+namespace {
+
+TEST(Dataset, DefaultSpecMatchesPaperCorpusExactly) {
+  const DatasetSpec spec;
+  // 12 training clips totalling 522 frames; 3 test clips totalling 135.
+  EXPECT_EQ(spec.train_clip_frames.size(), 12u);
+  EXPECT_EQ(spec.test_clip_frames.size(), 3u);
+  int train = 0, test = 0;
+  for (const int f : spec.train_clip_frames) train += f;
+  for (const int f : spec.test_clip_frames) test += f;
+  EXPECT_EQ(train, 522);
+  EXPECT_EQ(test, 135);
+}
+
+TEST(Dataset, GeneratedCorpusHasPaperCounts) {
+  DatasetSpec spec;
+  // Shrink images for test speed but keep the clip structure.
+  spec.camera.width = 96;
+  spec.camera.height = 64;
+  spec.camera.pixels_per_meter = 24.0;
+  spec.camera.ground_y_px = 60.0;
+  spec.camera.origin_x_px = 12.0;
+  const Dataset ds = generate_dataset(spec);
+  EXPECT_EQ(ds.train.size(), 12u);
+  EXPECT_EQ(ds.test.size(), 3u);
+  EXPECT_EQ(ds.train_frames(), 522u);
+  EXPECT_EQ(ds.test_frames(), 135u);
+}
+
+ClipSpec small_clip_spec(std::uint32_t seed, int frames = 20) {
+  ClipSpec spec;
+  spec.seed = seed;
+  spec.frame_count = frames;
+  spec.camera.width = 120;
+  spec.camera.height = 80;
+  spec.camera.pixels_per_meter = 30.0;
+  spec.camera.ground_y_px = 75.0;
+  spec.camera.origin_x_px = 15.0;
+  return spec;
+}
+
+TEST(Clip, FramesTruthAndSilhouettesAligned) {
+  const Clip clip = generate_clip(small_clip_spec(4));
+  EXPECT_EQ(clip.frames.size(), 20u);
+  EXPECT_EQ(clip.truth.size(), 20u);
+  EXPECT_EQ(clip.clean_silhouettes.size(), 20u);
+  EXPECT_EQ(clip.frame_count(), 20);
+  EXPECT_EQ(clip.background.width(), 120);
+}
+
+TEST(Clip, DeterministicForSameSpec) {
+  const Clip a = generate_clip(small_clip_spec(7));
+  const Clip b = generate_clip(small_clip_spec(7));
+  EXPECT_EQ(a.frames[5], b.frames[5]);
+  EXPECT_EQ(a.truth[5].pose, b.truth[5].pose);
+}
+
+TEST(Clip, DifferentSeedsGiveDifferentJumps) {
+  const Clip a = generate_clip(small_clip_spec(1));
+  const Clip b = generate_clip(small_clip_spec(2));
+  EXPECT_NE(a.frames[10], b.frames[10]);
+}
+
+TEST(Clip, TruthStagesProgress) {
+  const Clip clip = generate_clip(small_clip_spec(3, 40));
+  int prev = 0;
+  for (const FrameTruth& t : clip.truth) {
+    EXPECT_GE(static_cast<int>(t.stage), prev);
+    prev = std::max(prev, static_cast<int>(t.stage));
+  }
+  EXPECT_EQ(static_cast<int>(clip.truth.back().stage),
+            static_cast<int>(pose::Stage::kLanding));
+}
+
+TEST(Clip, CleanSilhouetteMatchesPartTruth) {
+  const Clip clip = generate_clip(small_clip_spec(5, 30));
+  for (std::size_t i = 0; i < clip.truth.size(); i += 7) {
+    const PointI waist = round_to_i(clip.truth[i].parts.waist);
+    ASSERT_TRUE(clip.clean_silhouettes[i].in_bounds(waist));
+    EXPECT_TRUE(clip.clean_silhouettes[i].at(waist));
+  }
+}
+
+TEST(Clip, FaultFlagsPropagate) {
+  ClipSpec spec = small_clip_spec(6);
+  spec.faults.no_arm_swing = true;
+  const Clip clip = generate_clip(spec);
+  EXPECT_TRUE(clip.faults.no_arm_swing);
+}
+
+TEST(Dataset, TestCorpusIndependentOfTrainingSize) {
+  DatasetSpec big;
+  big.camera.width = 96;
+  big.camera.height = 64;
+  big.camera.pixels_per_meter = 24.0;
+  big.camera.ground_y_px = 60.0;
+  DatasetSpec small = big;
+  small.train_clip_frames = {44, 43};  // fewer training clips
+  const Dataset ds_big = generate_dataset(big);
+  const Dataset ds_small = generate_dataset(small);
+  ASSERT_EQ(ds_big.test.size(), ds_small.test.size());
+  for (std::size_t c = 0; c < ds_big.test.size(); ++c) {
+    EXPECT_EQ(ds_big.test[c].frames[0], ds_small.test[c].frames[0]);
+  }
+}
+
+}  // namespace
+}  // namespace slj::synth

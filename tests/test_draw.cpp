@@ -1,0 +1,97 @@
+#include "imaging/draw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace slj {
+namespace {
+
+TEST(FillDisc, AreaIsApproximatelyPiRSquared) {
+  BinaryImage img(64, 64, 0);
+  fill_disc(img, {32, 32}, 10.0);
+  const double area = static_cast<double>(count_foreground(img));
+  const double expected = 3.14159265358979 * 100.0;
+  EXPECT_NEAR(area, expected, expected * 0.08);
+}
+
+TEST(FillDisc, ClipsAtImageBorder) {
+  BinaryImage img(10, 10, 0);
+  fill_disc(img, {0, 0}, 5.0);  // three quarters outside
+  EXPECT_GT(count_foreground(img), 0u);
+  EXPECT_LT(count_foreground(img), 80u);
+  EXPECT_EQ(img.at(0, 0), 1);
+}
+
+TEST(FillDisc, ZeroRadiusMarksCentrePixelOnly) {
+  BinaryImage img(5, 5, 0);
+  fill_disc(img, {2, 2}, 0.0);
+  EXPECT_EQ(count_foreground(img), 1u);
+  EXPECT_EQ(img.at(2, 2), 1);
+}
+
+TEST(FillCapsule, CoversSegmentAndRoundEnds) {
+  BinaryImage img(40, 20, 0);
+  fill_capsule(img, {5, 10}, {35, 10}, 3.0);
+  // Every pixel on the segment is covered.
+  for (int x = 5; x <= 35; ++x) EXPECT_EQ(img.at(x, 10), 1) << x;
+  // Ends are rounded: pixel just beyond the tip within radius is covered.
+  EXPECT_EQ(img.at(3, 10), 1);
+  EXPECT_EQ(img.at(37, 10), 1);
+  // Outside the radius is not.
+  EXPECT_EQ(img.at(5, 15), 0);
+}
+
+TEST(FillCapsule, DegenerateSegmentIsDisc) {
+  BinaryImage cap(20, 20, 0);
+  BinaryImage disc(20, 20, 0);
+  fill_capsule(cap, {10, 10}, {10, 10}, 4.0);
+  fill_disc(disc, {10, 10}, 4.0);
+  EXPECT_EQ(cap, disc);
+}
+
+TEST(FillConvexPolygon, FillsTriangle) {
+  BinaryImage img(20, 20, 0);
+  const std::array<PointF, 3> tri = {{{2, 2}, {17, 2}, {2, 17}}};
+  fill_convex_polygon(img, tri);
+  EXPECT_EQ(img.at(3, 3), 1);
+  EXPECT_EQ(img.at(16, 16), 0);  // outside the hypotenuse
+  EXPECT_GT(count_foreground(img), 90u);
+}
+
+TEST(FillConvexPolygon, TooFewVerticesIsNoOp) {
+  BinaryImage img(10, 10, 0);
+  const std::array<PointF, 2> seg = {{{1, 1}, {8, 8}}};
+  fill_convex_polygon(img, seg);
+  EXPECT_EQ(count_foreground(img), 0u);
+}
+
+TEST(DrawLine, HorizontalVerticalDiagonal) {
+  GrayImage img(10, 10, 0);
+  draw_line(img, {0, 0}, {9, 0}, 255);
+  for (int x = 0; x < 10; ++x) EXPECT_EQ(img.at(x, 0), 255);
+  img.fill(0);
+  draw_line(img, {3, 0}, {3, 9}, 255);
+  for (int y = 0; y < 10; ++y) EXPECT_EQ(img.at(3, y), 255);
+  img.fill(0);
+  draw_line(img, {0, 0}, {9, 9}, 255);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(img.at(i, i), 255);
+}
+
+TEST(DrawLine, ClipsOutOfBoundsEndpoints) {
+  GrayImage img(5, 5, 0);
+  draw_line(img, {-3, 2}, {8, 2}, 200);  // crosses the image
+  for (int x = 0; x < 5; ++x) EXPECT_EQ(img.at(x, 2), 200);
+}
+
+TEST(DrawMarker, PaintsSquare) {
+  RgbImage img(9, 9, Rgb{0, 0, 0});
+  draw_marker(img, {4, 4}, 1, Rgb{255, 0, 0});
+  int painted = 0;
+  for (const Rgb& p : img.data()) painted += p.r == 255 ? 1 : 0;
+  EXPECT_EQ(painted, 9);
+}
+
+}  // namespace
+}  // namespace slj

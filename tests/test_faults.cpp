@@ -1,0 +1,141 @@
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::core {
+namespace {
+
+using pose::FrameResult;
+using pose::PoseId;
+
+std::vector<FrameResult> sequence_of(const std::vector<PoseId>& poses) {
+  std::vector<FrameResult> seq;
+  for (const PoseId p : poses) {
+    FrameResult r;
+    r.pose = p;
+    seq.push_back(r);
+  }
+  return seq;
+}
+
+/// A textbook-correct jump at the pose level.
+std::vector<PoseId> good_jump() {
+  return {PoseId::kStandHandsOverlap,   PoseId::kStandHandsForward,
+          PoseId::kStandHandsBackward,  PoseId::kCrouchHandsBackward,
+          PoseId::kCrouchHandsBackward, PoseId::kTakeoffHandsBackward,
+          PoseId::kExtendedHandsForward, PoseId::kAirExtendedHandsForward,
+          PoseId::kAirTuckHandsForward, PoseId::kAirLegsReachForward,
+          PoseId::kTouchdownKneesBentHandsForward, PoseId::kLandedSquatHandsForward,
+          PoseId::kLandedRisingHandsDown};
+}
+
+TEST(FaultDetection, GoodJumpPassesEverything) {
+  const JumpReport report = detect_faults(sequence_of(good_jump()));
+  EXPECT_TRUE(report.all_passed());
+  EXPECT_EQ(report.passed_count(), report.total_count());
+  EXPECT_EQ(report.total_count(), 6);
+}
+
+TEST(FaultDetection, MissingBackswingFlagged) {
+  auto poses = good_jump();
+  // Replace all backswing poses with forward-arm variants.
+  for (PoseId& p : poses) {
+    if (p == PoseId::kStandHandsBackward) p = PoseId::kStandHandsForward;
+    if (p == PoseId::kCrouchHandsBackward) p = PoseId::kCrouchHandsForward;
+    if (p == PoseId::kTakeoffHandsBackward) p = PoseId::kTakeoffLeanForward;
+  }
+  const JumpReport report = detect_faults(sequence_of(poses));
+  EXPECT_FALSE(report.all_passed());
+  bool backswing_failed = false;
+  for (const FaultFinding& f : report.findings) {
+    if (f.rule == FaultRule::kArmBackswing) backswing_failed = !f.passed;
+  }
+  EXPECT_TRUE(backswing_failed);
+}
+
+TEST(FaultDetection, MissingCrouchFlagged) {
+  auto poses = good_jump();
+  for (PoseId& p : poses) {
+    if (p == PoseId::kCrouchHandsBackward) p = PoseId::kStandHandsBackward;
+    if (p == PoseId::kTakeoffHandsBackward) p = PoseId::kStandHandsBackward;
+  }
+  const JumpReport report = detect_faults(sequence_of(poses));
+  for (const FaultFinding& f : report.findings) {
+    if (f.rule == FaultRule::kPreparatoryCrouch) EXPECT_FALSE(f.passed);
+  }
+}
+
+TEST(FaultDetection, StiffLandingFlagged) {
+  auto poses = good_jump();
+  for (PoseId& p : poses) {
+    if (p == PoseId::kTouchdownKneesBentHandsForward || p == PoseId::kLandedSquatHandsForward) {
+      p = PoseId::kLandedRisingHandsDown;
+    }
+  }
+  const JumpReport report = detect_faults(sequence_of(poses));
+  for (const FaultFinding& f : report.findings) {
+    if (f.rule == FaultRule::kLandingAbsorption) EXPECT_FALSE(f.passed);
+  }
+}
+
+TEST(FaultDetection, IncompleteSequenceFlagged) {
+  // Only standing poses: three stages missing.
+  const JumpReport report =
+      detect_faults(sequence_of({PoseId::kStandHandsForward, PoseId::kStandHandsOverlap}));
+  for (const FaultFinding& f : report.findings) {
+    if (f.rule == FaultRule::kCompleteSequence) EXPECT_FALSE(f.passed);
+  }
+}
+
+TEST(FaultDetection, UnknownFramesAreIgnored) {
+  auto poses = good_jump();
+  poses.insert(poses.begin() + 3, PoseId::kUnknown);
+  poses.push_back(PoseId::kUnknown);
+  const JumpReport report = detect_faults(sequence_of(poses));
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(FaultDetection, EvidenceFramesPointAtTheRightFrames) {
+  const auto poses = good_jump();
+  const JumpReport report = detect_faults(sequence_of(poses));
+  for (const FaultFinding& f : report.findings) {
+    if (f.rule == FaultRule::kArmBackswing) {
+      ASSERT_FALSE(f.evidence_frames.empty());
+      EXPECT_EQ(f.evidence_frames.front(), 2);  // first backswing frame
+    }
+  }
+}
+
+TEST(FaultDetection, EmptySequenceFailsEverything) {
+  const JumpReport report = detect_faults({});
+  EXPECT_EQ(report.passed_count(), 0);
+}
+
+TEST(JumpReport, ToStringListsAdviceForFailures) {
+  const JumpReport report =
+      detect_faults(sequence_of({PoseId::kStandHandsForward}));
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("advice"), std::string::npos);
+  EXPECT_NE(text.find("checks passed"), std::string::npos);
+}
+
+TEST(JumpReport, ToStringListsEvidenceForPasses) {
+  const JumpReport report = detect_faults(sequence_of(good_jump()));
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  EXPECT_NE(text.find("frames"), std::string::npos);
+  EXPECT_EQ(text.find("advice"), std::string::npos);
+}
+
+TEST(FaultRules, NamesAndAdviceNonEmpty) {
+  for (const FaultRule r :
+       {FaultRule::kArmBackswing, FaultRule::kPreparatoryCrouch, FaultRule::kArmDriveForward,
+        FaultRule::kFlightLegCarry, FaultRule::kLandingAbsorption, FaultRule::kCompleteSequence}) {
+    EXPECT_FALSE(rule_name(r).empty());
+    EXPECT_FALSE(rule_advice(r).empty());
+  }
+}
+
+}  // namespace
+}  // namespace slj::core

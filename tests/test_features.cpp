@@ -1,0 +1,145 @@
+#include "pose/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slj::pose {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(AreaEncoder, RequiresAtLeastTwoAreas) {
+  EXPECT_THROW(AreaEncoder(1), std::invalid_argument);
+  EXPECT_NO_THROW(AreaEncoder(2));
+}
+
+TEST(AreaEncoder, MissingStateIsLastState) {
+  const AreaEncoder enc(8);
+  EXPECT_EQ(enc.missing_state(), 8);
+  EXPECT_EQ(enc.state_count(), 9);
+}
+
+TEST(AreaEncoder, CardinalDirectionsFallInSectorCentres) {
+  // Image coordinates: y grows downward, so "up" means smaller y.
+  const AreaEncoder enc(8);
+  const PointF waist{50, 50};
+  EXPECT_EQ(enc.area_of({60, 50}, waist), 0);  // straight ahead (+x)
+  EXPECT_EQ(enc.area_of({60, 40}, waist), 1);  // ahead-up (45°)
+  EXPECT_EQ(enc.area_of({50, 40}, waist), 2);  // straight up
+  EXPECT_EQ(enc.area_of({40, 40}, waist), 3);  // up-back
+  EXPECT_EQ(enc.area_of({40, 50}, waist), 4);  // straight back
+  EXPECT_EQ(enc.area_of({40, 60}, waist), 5);  // back-down
+  EXPECT_EQ(enc.area_of({50, 60}, waist), 6);  // straight down
+  EXPECT_EQ(enc.area_of({60, 60}, waist), 7);  // down-ahead
+}
+
+TEST(AreaEncoder, CoincidentPointMapsToAreaZero) {
+  const AreaEncoder enc(8);
+  EXPECT_EQ(enc.area_of({5, 5}, {5, 5}), 0);
+}
+
+TEST(AreaEncoder, SmallPerturbationAroundCardinalStaysInSameSector) {
+  // The half-sector offset means "straight up ± a few degrees" is stable.
+  const AreaEncoder enc(8);
+  const PointF waist{0, 0};
+  for (const double jitter : {-0.15, -0.05, 0.05, 0.15}) {
+    const double angle = kPi / 2 + jitter;  // up, in body space
+    const PointF p{std::cos(angle) * 10, -std::sin(angle) * 10};
+    EXPECT_EQ(enc.area_of(p, waist), 2) << "jitter " << jitter;
+  }
+}
+
+class EncoderPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderPartitionProperty, EveryAngleMapsToExactlyOneValidArea) {
+  const AreaEncoder enc(GetParam());
+  const PointF waist{0, 0};
+  for (int deg = 0; deg < 360; ++deg) {
+    const double a = deg * kPi / 180.0;
+    const PointF p{std::cos(a) * 20, -std::sin(a) * 20};
+    const int area = enc.area_of(p, waist);
+    EXPECT_GE(area, 0);
+    EXPECT_LT(area, enc.num_areas());
+  }
+}
+
+TEST_P(EncoderPartitionProperty, SectorsPartitionTheCircleEvenly) {
+  const AreaEncoder enc(GetParam());
+  const PointF waist{0, 0};
+  std::vector<int> counts(static_cast<std::size_t>(enc.num_areas()), 0);
+  const int samples = 3600;
+  for (int i = 0; i < samples; ++i) {
+    const double a = i * 2.0 * kPi / samples;
+    const PointF p{std::cos(a) * 100, -std::sin(a) * 100};
+    ++counts[static_cast<std::size_t>(enc.area_of(p, waist))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, samples / enc.num_areas(), 2);
+  }
+}
+
+TEST_P(EncoderPartitionProperty, RadiusDoesNotChangeArea) {
+  const AreaEncoder enc(GetParam());
+  const PointF waist{10, 20};
+  for (int deg = 5; deg < 360; deg += 35) {
+    const double a = deg * kPi / 180.0;
+    const PointF near_p{waist.x + std::cos(a) * 2, waist.y - std::sin(a) * 2};
+    const PointF far_p{waist.x + std::cos(a) * 200, waist.y - std::sin(a) * 200};
+    EXPECT_EQ(enc.area_of(near_p, waist), enc.area_of(far_p, waist));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, EncoderPartitionProperty, ::testing::Values(4, 8, 12, 16));
+
+TEST(AreaEncoder, StateLabels) {
+  const AreaEncoder enc(8);
+  EXPECT_EQ(enc.state_label(0), "I");
+  EXPECT_EQ(enc.state_label(7), "VIII");
+  EXPECT_EQ(enc.state_label(8), "missing");
+}
+
+TEST(PartNames, AllDistinct) {
+  EXPECT_EQ(part_name(Part::kHead), "Head");
+  EXPECT_EQ(part_name(Part::kChest), "Chest");
+  EXPECT_EQ(part_name(Part::kHand), "Hand");
+  EXPECT_EQ(part_name(Part::kKnee), "Knee");
+  EXPECT_EQ(part_name(Part::kFoot), "Foot");
+}
+
+TEST(EncodeParts, ProducesExpectedFeatureVector) {
+  const AreaEncoder enc(8);
+  PartPoints parts;
+  parts.head = {50, 10};   // above waist → up
+  parts.chest = {50, 30};  // up
+  parts.hand = {80, 45};   // ahead-ish
+  parts.knee = {50, 80};   // below
+  parts.foot = {45, 100};  // below, slightly back
+  const PointF waist{50, 50};
+  const FeatureVector f = encode_parts(parts, waist, enc);
+  EXPECT_EQ(f[Part::kHead], 2);
+  EXPECT_EQ(f[Part::kChest], 2);
+  EXPECT_EQ(f[Part::kHand], 0);
+  EXPECT_EQ(f[Part::kKnee], 6);
+  EXPECT_EQ(f[Part::kFoot], 6);
+}
+
+TEST(FeatureVector, ToStringMentionsEveryPart) {
+  const AreaEncoder enc(8);
+  FeatureVector f;
+  f[Part::kHead] = 2;
+  f[Part::kChest] = enc.missing_state();
+  const std::string s = to_string(f, enc);
+  EXPECT_NE(s.find("Head=III"), std::string::npos);
+  EXPECT_NE(s.find("Chest=missing"), std::string::npos);
+  EXPECT_NE(s.find("Foot="), std::string::npos);
+}
+
+TEST(PartPoints, GetMatchesFields) {
+  PartPoints parts;
+  parts.hand = {7, 8};
+  EXPECT_EQ(parts.get(Part::kHand), (PointF{7, 8}));
+}
+
+}  // namespace
+}  // namespace slj::pose

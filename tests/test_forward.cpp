@@ -1,0 +1,90 @@
+#include "bayes/forward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slj::bayes {
+namespace {
+
+ForwardFilter weather_filter() {
+  // Classic umbrella-world HMM: rain persists with 0.7.
+  return ForwardFilter({{0.7, 0.3}, {0.3, 0.7}}, {0.5, 0.5});
+}
+
+TEST(ForwardFilter, ValidatesInputs) {
+  EXPECT_THROW(ForwardFilter({}, {}), std::invalid_argument);
+  EXPECT_THROW(ForwardFilter({{1.0}}, {0.9}), std::invalid_argument);          // prior != 1
+  EXPECT_THROW(ForwardFilter({{0.5, 0.6}}, {1.0}), std::invalid_argument);     // row size
+  EXPECT_THROW(ForwardFilter({{0.5, 0.6}, {0.5, 0.5}}, {0.5, 0.5}),
+               std::invalid_argument);                                         // row sum
+}
+
+TEST(ForwardFilter, UmbrellaWorldStepMatchesHandComputation) {
+  // Russell & Norvig 15.2: P(R1 | u1) = <0.818, 0.182> with
+  // P(u|r)=0.9, P(u|~r)=0.2 and uniform prior.
+  ForwardFilter f = weather_filter();
+  const std::vector<double> lik = {0.9, 0.2};
+  const std::vector<double>& belief = f.step(lik);
+  EXPECT_NEAR(belief[0], 0.818, 1e-3);
+  EXPECT_NEAR(belief[1], 0.182, 1e-3);
+  // Second umbrella: P(R2 | u1, u2) ≈ <0.883, 0.117>.
+  f.step(lik);
+  EXPECT_NEAR(f.belief()[0], 0.883, 1e-3);
+}
+
+TEST(ForwardFilter, BeliefAlwaysNormalized) {
+  ForwardFilter f = weather_filter();
+  for (int i = 0; i < 5; ++i) {
+    const auto& b = f.step(std::vector<double>{0.3, 0.6});
+    double sum = 0.0;
+    for (const double p : b) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ForwardFilter, UninformativeLikelihoodOnlyPredicts) {
+  ForwardFilter f({{1.0, 0.0}, {0.0, 1.0}}, {0.9, 0.1});
+  f.step(std::vector<double>{1.0, 1.0});
+  EXPECT_NEAR(f.belief()[0], 0.9, 1e-12);  // identity transition preserves prior
+}
+
+TEST(ForwardFilter, ZeroLikelihoodEverywhereKeepsPrediction) {
+  ForwardFilter f = weather_filter();
+  f.step(std::vector<double>{0.0, 0.0});
+  double sum = 0.0;
+  for (const double p : f.belief()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // no NaN collapse
+}
+
+TEST(ForwardFilter, ResetRestoresPrior) {
+  ForwardFilter f = weather_filter();
+  f.step(std::vector<double>{0.9, 0.2});
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.belief()[0], 0.5);
+}
+
+TEST(ForwardFilter, MapStatePicksArgmax) {
+  ForwardFilter f = weather_filter();
+  f.step(std::vector<double>{0.9, 0.2});
+  EXPECT_EQ(f.map_state(), 0);
+  f.reset();
+  f.step(std::vector<double>{0.1, 0.9});
+  EXPECT_EQ(f.map_state(), 1);
+}
+
+TEST(ForwardFilter, MismatchedLikelihoodSizeThrows) {
+  ForwardFilter f = weather_filter();
+  EXPECT_THROW(f.step(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(ForwardFilter, ConvergesToStationaryDistribution) {
+  // With uninformative evidence the belief approaches the chain's
+  // stationary distribution (uniform for this symmetric chain).
+  ForwardFilter f({{0.7, 0.3}, {0.3, 0.7}}, {1.0, 0.0});
+  for (int i = 0; i < 60; ++i) f.step(std::vector<double>{1.0, 1.0});
+  EXPECT_NEAR(f.belief()[0], 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace slj::bayes

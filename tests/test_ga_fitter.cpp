@@ -1,0 +1,112 @@
+#include "ga/ga_fitter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::ga {
+namespace {
+
+const synth::BodyDimensions kBody = synth::BodyDimensions::for_height(1.38);
+
+synth::CameraConfig small_camera() {
+  synth::CameraConfig cam;
+  cam.width = 160;
+  cam.height = 100;
+  cam.pixels_per_meter = 40.0;
+  cam.ground_y_px = 95.0;
+  cam.origin_x_px = 20.0;
+  return cam;
+}
+
+GaConfig quick_config() {
+  GaConfig cfg;
+  cfg.population = 30;
+  cfg.generations = 25;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// Ground-truth silhouette of a known stick pose.
+BinaryImage target_silhouette(const StickPose& pose, double radius_px) {
+  const synth::SilhouetteRenderer renderer(small_camera());
+  return renderer.render_stick(kBody, pose.angles, pose.pelvis_world, radius_px);
+}
+
+TEST(GaFitter, FitnessOfExactPoseIsOne) {
+  GeneticSkeletonFitter fitter(kBody, small_camera(), quick_config());
+  StickPose truth;
+  truth.pelvis_world = {1.0, 0.62};
+  truth.angles.shoulder = 0.8;
+  const BinaryImage target = target_silhouette(truth, quick_config().stick_radius_px);
+  EXPECT_NEAR(fitter.fitness(truth, target), 1.0, 1e-12);
+}
+
+TEST(GaFitter, FitnessDropsWithPoseError) {
+  GeneticSkeletonFitter fitter(kBody, small_camera(), quick_config());
+  StickPose truth;
+  truth.pelvis_world = {1.0, 0.62};
+  const BinaryImage target = target_silhouette(truth, quick_config().stick_radius_px);
+  StickPose off = truth;
+  off.pelvis_world.x += 0.25;
+  EXPECT_LT(fitter.fitness(off, target), 0.6);
+  StickPose bent = truth;
+  bent.angles.knee = 1.2;
+  EXPECT_LT(fitter.fitness(bent, target), fitter.fitness(truth, target));
+}
+
+TEST(GaFitter, RecoversStandingPose) {
+  GeneticSkeletonFitter fitter(kBody, small_camera(), quick_config());
+  StickPose truth;
+  truth.pelvis_world = {1.2, 0.62};
+  truth.angles.shoulder = 0.5;
+  const BinaryImage target = target_silhouette(truth, quick_config().stick_radius_px);
+  const FitResult result = fitter.fit(target);
+  // The GA should overlap the target substantially (not necessarily
+  // perfectly within this tiny budget).
+  EXPECT_GT(result.fitness, 0.55);
+  EXPECT_NEAR(result.best.pelvis_world.x, truth.pelvis_world.x, 0.20);
+  EXPECT_NEAR(result.best.pelvis_world.y, truth.pelvis_world.y, 0.20);
+}
+
+TEST(GaFitter, ReportsBudgetTelemetry) {
+  GaConfig cfg = quick_config();
+  cfg.population = 10;
+  cfg.generations = 5;
+  GeneticSkeletonFitter fitter(kBody, small_camera(), cfg);
+  StickPose truth;
+  truth.pelvis_world = {1.0, 0.62};
+  const FitResult result = fitter.fit(target_silhouette(truth, cfg.stick_radius_px));
+  EXPECT_EQ(result.generations_run, 5);
+  // population initial eval + one eval per individual per generation
+  EXPECT_EQ(result.evaluations, 10u + 5u * 10u);
+}
+
+TEST(GaFitter, DeterministicForSeed) {
+  StickPose truth;
+  truth.pelvis_world = {1.0, 0.62};
+  const BinaryImage target = target_silhouette(truth, quick_config().stick_radius_px);
+  GeneticSkeletonFitter f1(kBody, small_camera(), quick_config());
+  GeneticSkeletonFitter f2(kBody, small_camera(), quick_config());
+  const FitResult r1 = f1.fit(target);
+  const FitResult r2 = f2.fit(target);
+  EXPECT_DOUBLE_EQ(r1.fitness, r2.fitness);
+  EXPECT_DOUBLE_EQ(r1.best.angles.knee, r2.best.angles.knee);
+}
+
+TEST(GaFitter, MoreGenerationsDoNotHurt) {
+  StickPose truth;
+  truth.pelvis_world = {1.0, 0.62};
+  truth.angles.hip = 0.4;
+  truth.angles.knee = 0.6;
+  const BinaryImage target = target_silhouette(truth, quick_config().stick_radius_px);
+  GaConfig small = quick_config();
+  small.generations = 4;
+  GaConfig large = quick_config();
+  large.generations = 40;
+  GeneticSkeletonFitter fs(kBody, small_camera(), small);
+  GeneticSkeletonFitter fl(kBody, small_camera(), large);
+  // Elitism makes best fitness monotone in generations for a fixed seed.
+  EXPECT_GE(fl.fit(target).fitness, fs.fit(target).fitness - 1e-12);
+}
+
+}  // namespace
+}  // namespace slj::ga

@@ -1,0 +1,153 @@
+#include "imaging/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace slj {
+namespace {
+
+TEST(Image, DefaultConstructedIsEmpty) {
+  GrayImage img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.width(), 0);
+  EXPECT_EQ(img.height(), 0);
+  EXPECT_EQ(img.size(), 0u);
+}
+
+TEST(Image, ConstructionFillsValue) {
+  GrayImage img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(img.at(x, y), 7);
+    }
+  }
+}
+
+TEST(Image, NegativeDimensionsThrow) {
+  EXPECT_THROW(GrayImage(-1, 3), std::invalid_argument);
+  EXPECT_THROW(GrayImage(3, -1), std::invalid_argument);
+}
+
+TEST(Image, ZeroByNImageIsEmptyButValid) {
+  GrayImage img(0, 5);
+  EXPECT_TRUE(img.empty());
+  EXPECT_FALSE(img.in_bounds(0, 0));
+}
+
+TEST(Image, AtReadsAndWritesRowMajor) {
+  GrayImage img(3, 2);
+  img.at(2, 1) = 42;
+  EXPECT_EQ(img.data()[1 * 3 + 2], 42);
+  img.at(0, 0) = 9;
+  EXPECT_EQ(img.data()[0], 9);
+}
+
+TEST(Image, InBounds) {
+  GrayImage img(3, 2);
+  EXPECT_TRUE(img.in_bounds(0, 0));
+  EXPECT_TRUE(img.in_bounds(2, 1));
+  EXPECT_FALSE(img.in_bounds(3, 0));
+  EXPECT_FALSE(img.in_bounds(0, 2));
+  EXPECT_FALSE(img.in_bounds(-1, 0));
+  EXPECT_FALSE(img.in_bounds(0, -1));
+}
+
+TEST(Image, AtOrReturnsOutsideValue) {
+  GrayImage img(2, 2, 5);
+  EXPECT_EQ(img.at_or(0, 0, 99), 5);
+  EXPECT_EQ(img.at_or(-1, 0, 99), 99);
+  EXPECT_EQ(img.at_or(0, 2, 99), 99);
+}
+
+TEST(Image, FillOverwritesEverything) {
+  GrayImage img(4, 4, 1);
+  img.fill(8);
+  for (const auto v : img.data()) EXPECT_EQ(v, 8);
+}
+
+TEST(Image, EqualityComparesContents) {
+  GrayImage a(2, 2, 1);
+  GrayImage b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, RgbPixelEquality) {
+  EXPECT_EQ((Rgb{1, 2, 3}), (Rgb{1, 2, 3}));
+  EXPECT_NE((Rgb{1, 2, 3}), (Rgb{1, 2, 4}));
+}
+
+TEST(CountForeground, CountsNonZero) {
+  BinaryImage img(3, 3, 0);
+  EXPECT_EQ(count_foreground(img), 0u);
+  img.at(0, 0) = 1;
+  img.at(2, 2) = 1;
+  EXPECT_EQ(count_foreground(img), 2u);
+}
+
+TEST(Iou, IdenticalMasksGiveOne) {
+  BinaryImage a(4, 4, 0);
+  a.at(1, 1) = 1;
+  a.at(2, 2) = 1;
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+}
+
+TEST(Iou, DisjointMasksGiveZero) {
+  BinaryImage a(4, 4, 0);
+  BinaryImage b(4, 4, 0);
+  a.at(0, 0) = 1;
+  b.at(3, 3) = 1;
+  EXPECT_DOUBLE_EQ(iou(a, b), 0.0);
+}
+
+TEST(Iou, EmptyMasksAgreePerfectly) {
+  BinaryImage a(4, 4, 0);
+  BinaryImage b(4, 4, 0);
+  EXPECT_DOUBLE_EQ(iou(a, b), 1.0);
+}
+
+TEST(Iou, PartialOverlap) {
+  BinaryImage a(4, 1, 0);
+  BinaryImage b(4, 1, 0);
+  a.at(0, 0) = a.at(1, 0) = 1;
+  b.at(1, 0) = b.at(2, 0) = 1;
+  EXPECT_DOUBLE_EQ(iou(a, b), 1.0 / 3.0);
+}
+
+TEST(Iou, SizeMismatchThrows) {
+  BinaryImage a(4, 4);
+  BinaryImage b(3, 4);
+  EXPECT_THROW(iou(a, b), std::invalid_argument);
+}
+
+TEST(Geometry, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(distance(PointF{0, 0}, PointF{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(PointI{0, 0}, PointI{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm(PointF{3, 4}), 5.0);
+}
+
+TEST(Geometry, Chebyshev) {
+  EXPECT_EQ(chebyshev({0, 0}, {3, 1}), 3);
+  EXPECT_EQ(chebyshev({0, 0}, {-2, -5}), 5);
+  EXPECT_EQ(chebyshev({1, 1}, {1, 1}), 0);
+}
+
+TEST(Geometry, PointHashDistinguishesAxes) {
+  const std::hash<PointI> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+}
+
+TEST(Geometry, Neighbours8StartsNorthAndGoesClockwise) {
+  EXPECT_EQ(kNeighbours8[0], (PointI{0, -1}));  // P2: north
+  EXPECT_EQ(kNeighbours8[2], (PointI{1, 0}));   // P4: east
+  EXPECT_EQ(kNeighbours8[4], (PointI{0, 1}));   // P6: south
+  EXPECT_EQ(kNeighbours8[6], (PointI{-1, 0}));  // P8: west
+}
+
+}  // namespace
+}  // namespace slj

@@ -1,0 +1,164 @@
+#include "synth/jump_motion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace slj::synth {
+namespace {
+
+constexpr double deg(double d) { return d * 3.14159265358979323846 / 180.0; }
+
+JumpMotionGenerator make_generator(std::uint32_t seed = 5, FaultFlags faults = {}) {
+  JumpStyle style;
+  style.seed = seed;
+  style.faults = faults;
+  return JumpMotionGenerator(BodyDimensions::for_height(1.38), style);
+}
+
+TEST(JumpMotion, GeneratesRequestedFrameCount) {
+  const auto frames = make_generator().generate(44);
+  EXPECT_EQ(frames.size(), 44u);
+  EXPECT_DOUBLE_EQ(frames.front().time_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(frames.back().time_fraction, 1.0);
+}
+
+TEST(JumpMotion, DeterministicForSameSeed) {
+  const auto a = make_generator(9).generate(40);
+  const auto b = make_generator(9).generate(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].angles.knee, b[i].angles.knee);
+    EXPECT_DOUBLE_EQ(a[i].pelvis.x, b[i].pelvis.x);
+  }
+}
+
+TEST(JumpMotion, DifferentSeedsDiffer) {
+  const auto a = make_generator(1).generate(40);
+  const auto b = make_generator(2).generate(40);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].angles.knee - b[i].angles.knee) > 1e-6) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(JumpMotion, StagesProgressMonotonically) {
+  const auto frames = make_generator().generate(60);
+  int prev = 0;
+  bool saw[4] = {false, false, false, false};
+  for (const MotionFrame& f : frames) {
+    const int s = static_cast<int>(f.stage);
+    EXPECT_GE(s, prev);
+    prev = std::max(prev, s);
+    saw[s] = true;
+  }
+  for (const bool s : saw) EXPECT_TRUE(s);  // all four stages appear
+}
+
+TEST(JumpMotion, AirborneExactlyBetweenLiftoffAndTouchdown) {
+  const JumpMotionGenerator gen = make_generator();
+  const auto frames = gen.generate(80);
+  for (const MotionFrame& f : frames) {
+    const bool expected =
+        f.time_fraction > gen.takeoff_time() && f.time_fraction < gen.touchdown_time();
+    EXPECT_EQ(f.airborne, expected) << "t=" << f.time_fraction;
+    if (f.airborne) EXPECT_EQ(f.stage, pose::Stage::kInTheAir);
+  }
+}
+
+TEST(JumpMotion, PelvisTravelsForward) {
+  const auto frames = make_generator().generate(50);
+  EXPECT_GT(frames.back().pelvis.x, frames.front().pelvis.x + 0.8);
+  // x never goes significantly backwards.
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GE(frames[i].pelvis.x, frames[i - 1].pelvis.x - 0.02);
+  }
+}
+
+TEST(JumpMotion, FlightArcRisesAboveContactHeights) {
+  const JumpMotionGenerator gen = make_generator();
+  const auto frames = gen.generate(100);
+  double max_air_y = 0.0;
+  double liftoff_y = 0.0;
+  for (const MotionFrame& f : frames) {
+    if (f.airborne) {
+      max_air_y = std::max(max_air_y, f.pelvis.y);
+    } else if (f.time_fraction <= gen.takeoff_time()) {
+      liftoff_y = f.pelvis.y;
+    }
+  }
+  EXPECT_GT(max_air_y, liftoff_y + 0.10);
+}
+
+TEST(JumpMotion, GroundedFramesKeepFeetOnGround) {
+  const JumpMotionGenerator gen = make_generator();
+  const BodyDimensions body = gen.body();
+  for (const MotionFrame& f : gen.generate(60)) {
+    if (f.airborne) continue;
+    const double offset = lowest_foot_offset(body, f.angles) + f.pelvis.y;
+    EXPECT_NEAR(offset, 0.0, 1e-9) << "t=" << f.time_fraction;
+  }
+}
+
+TEST(JumpMotion, CrouchHappensBeforeTakeoff) {
+  const JumpMotionGenerator gen = make_generator();
+  double max_knee_before = 0.0;
+  for (const MotionFrame& f : gen.generate(60)) {
+    if (f.time_fraction < gen.takeoff_time()) {
+      max_knee_before = std::max(max_knee_before, f.angles.knee);
+    }
+  }
+  EXPECT_GT(max_knee_before, deg(55));
+}
+
+TEST(JumpMotion, NoArmSwingFaultCapsShoulder) {
+  FaultFlags faults;
+  faults.no_arm_swing = true;
+  for (const MotionFrame& f : make_generator(5, faults).generate(60)) {
+    EXPECT_LT(f.angles.shoulder, deg(20));
+    EXPECT_GT(f.angles.shoulder, deg(-14));
+  }
+}
+
+TEST(JumpMotion, NoCrouchFaultCapsKnee) {
+  FaultFlags faults;
+  faults.no_crouch = true;
+  for (const MotionFrame& f : make_generator(5, faults).generate(60)) {
+    EXPECT_LT(f.angles.knee, deg(32));
+  }
+}
+
+TEST(JumpMotion, StiffLandingFaultFreezesAbsorption) {
+  FaultFlags faults;
+  faults.stiff_landing = true;
+  const JumpMotionGenerator gen = make_generator(5, faults);
+  for (const MotionFrame& f : gen.generate(60)) {
+    if (f.time_fraction > gen.touchdown_time() + 0.02) {
+      EXPECT_LT(f.angles.knee, deg(25)) << "t=" << f.time_fraction;
+    }
+  }
+  // Preparation crouch is untouched.
+  double max_before = 0.0;
+  for (const MotionFrame& f : gen.generate(60)) {
+    if (f.time_fraction < gen.takeoff_time()) max_before = std::max(max_before, f.angles.knee);
+  }
+  EXPECT_GT(max_before, deg(55));
+}
+
+TEST(JumpMotion, FaultFlagsAnyDetectsAnything) {
+  FaultFlags none;
+  EXPECT_FALSE(none.any());
+  FaultFlags one;
+  one.stiff_landing = true;
+  EXPECT_TRUE(one.any());
+}
+
+TEST(JumpMotion, SingleFrameClipSamplesStart) {
+  const auto frames = make_generator().generate(1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(frames.front().time_fraction, 0.0);
+  EXPECT_EQ(frames.front().stage, pose::Stage::kBeforeJumping);
+}
+
+}  // namespace
+}  // namespace slj::synth

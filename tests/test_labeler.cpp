@@ -1,0 +1,195 @@
+#include "synth/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/dataset.hpp"
+
+namespace slj::synth {
+namespace {
+
+constexpr double deg(double d) { return d * 3.14159265358979323846 / 180.0; }
+
+MotionFrame frame_with(JointAngles angles, pose::Stage stage, bool airborne = false) {
+  MotionFrame f;
+  f.angles = angles;
+  f.stage = stage;
+  f.airborne = airborne;
+  f.pelvis = {0.0, airborne ? 0.9 : 0.7};
+  return f;
+}
+
+const BodyDimensions kBody = BodyDimensions::for_height(1.38);
+
+TEST(CardinalSector, EightDirections) {
+  EXPECT_EQ(cardinal_sector({1, 0}), 0);
+  EXPECT_EQ(cardinal_sector({1, 1}), 1);
+  EXPECT_EQ(cardinal_sector({0, 1}), 2);
+  EXPECT_EQ(cardinal_sector({-1, 1}), 3);
+  EXPECT_EQ(cardinal_sector({-1, 0}), 4);
+  EXPECT_EQ(cardinal_sector({-1, -1}), 5);
+  EXPECT_EQ(cardinal_sector({0, -1}), 6);
+  EXPECT_EQ(cardinal_sector({1, -1}), 7);
+}
+
+TEST(ClassifyArm, HangingArmIsDown) {
+  JointAngles a;  // shoulder 0: hanging along the torso
+  const JointPositions j = forward_kinematics(kBody, a, {0, 0.8});
+  EXPECT_EQ(classify_arm(kBody, j), ArmDirection::kDown);
+}
+
+TEST(ClassifyArm, RaisedArmIsUp) {
+  JointAngles a;
+  a.shoulder = deg(160);
+  const JointPositions j = forward_kinematics(kBody, a, {0, 0.8});
+  EXPECT_EQ(classify_arm(kBody, j), ArmDirection::kUp);
+}
+
+TEST(ClassifyArm, SwungBackIsBackward) {
+  JointAngles a;
+  a.shoulder = deg(-55);
+  const JointPositions j = forward_kinematics(kBody, a, {0, 0.8});
+  EXPECT_EQ(classify_arm(kBody, j), ArmDirection::kBackward);
+}
+
+TEST(ClassifyArm, HorizontalForwardIsForward) {
+  JointAngles a;
+  a.shoulder = deg(90);
+  const JointPositions j = forward_kinematics(kBody, a, {0, 0.8});
+  EXPECT_EQ(classify_arm(kBody, j), ArmDirection::kForward);
+}
+
+TEST(ClassifyKnee, Thresholds) {
+  EXPECT_EQ(classify_knee(deg(10)), KneeBend::kStraight);
+  EXPECT_EQ(classify_knee(deg(45)), KneeBend::kBent);
+  EXPECT_EQ(classify_knee(deg(80)), KneeBend::kDeep);
+}
+
+TEST(WaistBent, PikeAndLeanDetected) {
+  JointAngles pike;
+  pike.hip = deg(70);
+  pike.knee = deg(10);
+  EXPECT_TRUE(waist_bent(pike));
+  JointAngles lean;
+  lean.torso_lean = deg(30);
+  EXPECT_TRUE(waist_bent(lean));
+  JointAngles upright;
+  EXPECT_FALSE(waist_bent(upright));
+}
+
+TEST(LabelPose, InitialStandingIsOverlap) {
+  JointAngles a;
+  EXPECT_EQ(label_pose(kBody, frame_with(a, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kStandHandsOverlap);
+}
+
+TEST(LabelPose, StandingArmVariants) {
+  JointAngles fwd;
+  fwd.shoulder = deg(50);
+  EXPECT_EQ(label_pose(kBody, frame_with(fwd, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kStandHandsForward);
+  JointAngles up;
+  up.shoulder = deg(165);
+  EXPECT_EQ(label_pose(kBody, frame_with(up, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kStandHandsUp);
+  JointAngles back;
+  back.shoulder = deg(-50);
+  EXPECT_EQ(label_pose(kBody, frame_with(back, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kStandHandsBackward);
+}
+
+TEST(LabelPose, CrouchVariants) {
+  JointAngles crouch;
+  crouch.knee = deg(75);
+  crouch.hip = deg(60);
+  crouch.shoulder = deg(-50);
+  crouch.torso_lean = deg(25);
+  EXPECT_EQ(label_pose(kBody, frame_with(crouch, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kCrouchHandsBackward);
+  crouch.shoulder = deg(45);
+  EXPECT_EQ(label_pose(kBody, frame_with(crouch, pose::Stage::kBeforeJumping)),
+            pose::PoseId::kCrouchHandsForward);
+}
+
+TEST(LabelPose, TakeoffExtension) {
+  JointAngles ext;
+  ext.knee = deg(5);
+  ext.shoulder = deg(60);
+  EXPECT_EQ(label_pose(kBody, frame_with(ext, pose::Stage::kJumping)),
+            pose::PoseId::kExtendedHandsForward);
+  ext.shoulder = deg(165);
+  EXPECT_EQ(label_pose(kBody, frame_with(ext, pose::Stage::kJumping)),
+            pose::PoseId::kExtendedHandsUp);
+}
+
+TEST(LabelPose, AirVariants) {
+  JointAngles tuck;
+  tuck.knee = deg(90);
+  tuck.hip = deg(70);
+  tuck.shoulder = deg(80);
+  EXPECT_EQ(label_pose(kBody, frame_with(tuck, pose::Stage::kInTheAir, true)),
+            pose::PoseId::kAirTuckHandsForward);
+  JointAngles reach;
+  reach.knee = deg(25);
+  reach.hip = deg(80);
+  reach.shoulder = deg(70);
+  EXPECT_EQ(label_pose(kBody, frame_with(reach, pose::Stage::kInTheAir, true)),
+            pose::PoseId::kAirLegsReachForward);
+  JointAngles extended;
+  extended.shoulder = deg(85);
+  EXPECT_EQ(label_pose(kBody, frame_with(extended, pose::Stage::kInTheAir, true)),
+            pose::PoseId::kAirExtendedHandsForward);
+}
+
+TEST(LabelPose, LandingVariants) {
+  JointAngles touchdown;
+  touchdown.knee = deg(45);
+  touchdown.hip = deg(75);
+  touchdown.shoulder = deg(60);
+  EXPECT_EQ(label_pose(kBody, frame_with(touchdown, pose::Stage::kLanding)),
+            pose::PoseId::kTouchdownKneesBentHandsForward);
+  JointAngles rising;
+  rising.knee = deg(10);
+  rising.hip = deg(8);
+  rising.shoulder = deg(3);
+  EXPECT_EQ(label_pose(kBody, frame_with(rising, pose::Stage::kLanding)),
+            pose::PoseId::kLandedRisingHandsDown);
+}
+
+TEST(LabelPose, StageDeterminesPoseFamily) {
+  // Identical angles in different stages yield poses of those stages.
+  JointAngles a;
+  a.shoulder = deg(60);
+  for (int s = 0; s < pose::kStageCount; ++s) {
+    const auto stage = pose::stage_from_index(s);
+    const pose::PoseId p = label_pose(kBody, frame_with(a, stage));
+    EXPECT_EQ(pose::stage_of(p), stage);
+  }
+}
+
+TEST(LabelPose, GeneratedJumpCoversManyPoses) {
+  // Across a few generated clips the labeller should emit a healthy chunk
+  // of the catalogue (not all 22 appear in every jump style).
+  std::set<pose::PoseId> seen;
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    ClipSpec spec;
+    spec.seed = seed;
+    spec.frame_count = 44;
+    const Clip clip = generate_clip(spec);
+    for (const FrameTruth& t : clip.truth) seen.insert(t.pose);
+  }
+  EXPECT_GE(seen.size(), 12u);
+}
+
+TEST(LabelPose, LabelsAreStageConsistentInGeneratedClips) {
+  ClipSpec spec;
+  spec.seed = 3;
+  const Clip clip = generate_clip(spec);
+  for (const FrameTruth& t : clip.truth) {
+    EXPECT_EQ(pose::stage_of(t.pose), t.stage);
+  }
+}
+
+}  // namespace
+}  // namespace slj::synth

@@ -1,0 +1,154 @@
+#include "skelgraph/loop_cut.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::skel {
+namespace {
+
+/// Builds a multigraph: two nodes joined by a long and a short parallel
+/// path (one cycle), plus a tail.
+SkeletonGraph two_path_cycle() {
+  SkeletonGraph g;
+  Node a, b, t;
+  a.pos = {0, 0};
+  b.pos = {10, 0};
+  t.pos = {15, 0};
+  a.type = b.type = NodeType::kJunction;
+  t.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  const int it = g.add_node(t);
+
+  Edge direct;  // short path, length 10
+  direct.a = ia;
+  direct.b = ib;
+  for (int x = 0; x <= 10; ++x) direct.path.push_back({x, 0});
+  g.add_edge(direct);
+
+  Edge detour;  // long path through y=5, length ~20
+  detour.a = ia;
+  detour.b = ib;
+  detour.path.push_back({0, 0});
+  for (int x = 0; x <= 10; ++x) detour.path.push_back({x, 5});
+  detour.path.push_back({10, 0});
+  g.add_edge(detour);
+
+  Edge tail;
+  tail.a = ib;
+  tail.b = it;
+  for (int x = 10; x <= 15; ++x) tail.path.push_back({x, 0});
+  g.add_edge(tail);
+  return g;
+}
+
+TEST(LoopCut, RemovesOneCycleEdge) {
+  SkeletonGraph g = two_path_cycle();
+  EXPECT_EQ(g.cycle_count(), 1u);
+  const LoopCutStats stats = cut_loops(g);
+  EXPECT_EQ(stats.loops_before, 1u);
+  EXPECT_EQ(stats.loops_after, 0u);
+  EXPECT_EQ(stats.edges_removed, 1u);
+  EXPECT_EQ(g.cycle_count(), 0u);
+  EXPECT_EQ(g.alive_edge_count(), 2u);
+}
+
+TEST(LoopCut, MaximumPolicyKeepsLongerPath) {
+  SkeletonGraph g = two_path_cycle();
+  cut_loops(g, SpanningPolicy::kMaximum);
+  // The direct (short) edge must be the one cut.
+  double longest_kept = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (e.alive && e.a != e.b) longest_kept = std::max(longest_kept, e.length);
+  }
+  EXPECT_GT(longest_kept, 15.0);
+  // Specifically: edge 0 (direct) dead, edge 1 (detour) alive.
+  EXPECT_FALSE(g.edge(0).alive);
+  EXPECT_TRUE(g.edge(1).alive);
+}
+
+TEST(LoopCut, MinimumPolicyKeepsShorterPath) {
+  SkeletonGraph g = two_path_cycle();
+  cut_loops(g, SpanningPolicy::kMinimum);
+  EXPECT_TRUE(g.edge(0).alive);
+  EXPECT_FALSE(g.edge(1).alive);
+}
+
+TEST(LoopCut, SelfLoopsAlwaysRemoved) {
+  SkeletonGraph g;
+  Node seat;
+  seat.pos = {3, 3};
+  seat.type = NodeType::kLoopSeat;
+  const int is = g.add_node(seat);
+  Edge ring;
+  ring.a = is;
+  ring.b = is;
+  ring.path = {{3, 3}, {4, 3}, {4, 4}, {3, 4}, {3, 3}};
+  g.add_edge(ring);
+
+  const LoopCutStats stats = cut_loops(g);
+  EXPECT_EQ(stats.edges_removed, 1u);
+  EXPECT_EQ(g.alive_edge_count(), 0u);
+}
+
+TEST(LoopCut, AcyclicGraphUntouched) {
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {4, 0};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  Edge e;
+  e.a = ia;
+  e.b = ib;
+  e.path = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  g.add_edge(e);
+
+  const LoopCutStats stats = cut_loops(g);
+  EXPECT_EQ(stats.edges_removed, 0u);
+  EXPECT_EQ(stats.kept_length, 4.0);
+  EXPECT_EQ(g.alive_edge_count(), 1u);
+}
+
+TEST(LoopCut, KeptPlusRemovedEqualsTotal) {
+  SkeletonGraph g = two_path_cycle();
+  const double total = g.total_length();
+  const LoopCutStats stats = cut_loops(g);
+  EXPECT_NEAR(stats.kept_length + stats.removed_length, total, 1e-9);
+  EXPECT_NEAR(g.total_length(), stats.kept_length, 1e-9);
+}
+
+TEST(LoopCut, DisconnectedComponentsEachKeepASpanningTree) {
+  SkeletonGraph g;
+  // Two separate triangles (each one cycle).
+  int base = 0;
+  for (int comp = 0; comp < 2; ++comp) {
+    Node n1, n2, n3;
+    n1.pos = {base, 0};
+    n2.pos = {base + 4, 0};
+    n3.pos = {base + 2, 4};
+    n1.type = n2.type = n3.type = NodeType::kJunction;
+    const int i1 = g.add_node(n1);
+    const int i2 = g.add_node(n2);
+    const int i3 = g.add_node(n3);
+    const auto connect = [&](int u, int v, PointI pu, PointI pv) {
+      Edge e;
+      e.a = u;
+      e.b = v;
+      e.path = {pu, pv};
+      g.add_edge(e);
+    };
+    connect(i1, i2, {base, 0}, {base + 4, 0});
+    connect(i2, i3, {base + 4, 0}, {base + 2, 4});
+    connect(i3, i1, {base + 2, 4}, {base, 0});
+    base += 20;
+  }
+  EXPECT_EQ(g.cycle_count(), 2u);
+  const LoopCutStats stats = cut_loops(g);
+  EXPECT_EQ(stats.edges_removed, 2u);
+  EXPECT_EQ(g.cycle_count(), 0u);
+  EXPECT_EQ(g.alive_edge_count(), 4u);
+}
+
+}  // namespace
+}  // namespace slj::skel

@@ -1,0 +1,115 @@
+#include "imaging/morphology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace slj {
+namespace {
+
+BinaryImage random_mask(int w, int h, unsigned seed, int mod = 3) {
+  std::mt19937 rng(seed);
+  BinaryImage img(w, h);
+  for (auto& v : img.data()) v = rng() % mod == 0 ? 1 : 0;
+  return img;
+}
+
+TEST(Dilate, GrowsSinglePixelToNeighbourhood) {
+  BinaryImage img(5, 5, 0);
+  img.at(2, 2) = 1;
+  const BinaryImage sq = dilate(img, Structuring::kSquare8);
+  EXPECT_EQ(count_foreground(sq), 9u);
+  const BinaryImage cr = dilate(img, Structuring::kCross4);
+  EXPECT_EQ(count_foreground(cr), 5u);
+}
+
+TEST(Erode, ShrinksSquare) {
+  BinaryImage img(5, 5, 0);
+  for (int y = 1; y <= 3; ++y) {
+    for (int x = 1; x <= 3; ++x) img.at(x, y) = 1;
+  }
+  const BinaryImage out = erode(img, Structuring::kSquare8);
+  EXPECT_EQ(count_foreground(out), 1u);
+  EXPECT_EQ(out.at(2, 2), 1);
+}
+
+TEST(Erode, OutsideCountsAsForeground) {
+  // Erosion pads with foreground, so a full image is a fixed point; this is
+  // what keeps closing extensive at the border.
+  BinaryImage img(3, 3, 1);
+  EXPECT_EQ(erode(img, Structuring::kSquare8), img);
+}
+
+class MorphologyDuality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MorphologyDuality, DilationContainsOriginalErosionContained) {
+  const BinaryImage img = random_mask(17, 11, GetParam());
+  const BinaryImage d = dilate(img);
+  const BinaryImage e = erode(img);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    if (img.data()[i]) EXPECT_TRUE(d.data()[i]);   // extensive
+    if (e.data()[i]) EXPECT_TRUE(img.data()[i]);   // anti-extensive
+  }
+}
+
+TEST_P(MorphologyDuality, OpeningIsContainedClosingContains) {
+  const BinaryImage img = random_mask(17, 11, GetParam() + 100);
+  const BinaryImage opened = open(img);
+  const BinaryImage closed = close(img);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    if (opened.data()[i]) EXPECT_TRUE(img.data()[i]);
+    if (img.data()[i]) EXPECT_TRUE(closed.data()[i]);
+  }
+}
+
+TEST_P(MorphologyDuality, OpenAndCloseAreIdempotent) {
+  const BinaryImage img = random_mask(17, 11, GetParam() + 200);
+  const BinaryImage o1 = open(img);
+  EXPECT_EQ(open(o1), o1);
+  const BinaryImage c1 = close(img);
+  EXPECT_EQ(close(c1), c1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MorphologyDuality, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(FillHoles, FillsEnclosedBackground) {
+  // A ring with a hollow centre.
+  BinaryImage img(7, 7, 0);
+  for (int i = 1; i <= 5; ++i) {
+    img.at(i, 1) = img.at(i, 5) = 1;
+    img.at(1, i) = img.at(5, i) = 1;
+  }
+  const BinaryImage filled = fill_holes(img);
+  for (int y = 2; y <= 4; ++y) {
+    for (int x = 2; x <= 4; ++x) EXPECT_EQ(filled.at(x, y), 1);
+  }
+  // Outside stays background.
+  EXPECT_EQ(filled.at(0, 0), 0);
+  EXPECT_EQ(filled.at(6, 6), 0);
+}
+
+TEST(FillHoles, LeavesOpenConcavityAlone) {
+  // A 'U' shape: the inner column is connected to the border at the top.
+  BinaryImage img(5, 5, 0);
+  for (int y = 0; y < 5; ++y) {
+    img.at(1, y) = 1;
+    img.at(3, y) = 1;
+  }
+  for (int x = 1; x <= 3; ++x) img.at(x, 4) = 1;
+  const BinaryImage filled = fill_holes(img);
+  EXPECT_EQ(filled.at(2, 0), 0);  // mouth of the U stays open
+  EXPECT_EQ(filled.at(2, 2), 0);
+}
+
+TEST(FillHoles, NoForegroundNoChange) {
+  BinaryImage img(4, 4, 0);
+  EXPECT_EQ(fill_holes(img), img);
+}
+
+TEST(FillHoles, FullForegroundUnchanged) {
+  BinaryImage img(4, 4, 1);
+  EXPECT_EQ(fill_holes(img), img);
+}
+
+}  // namespace
+}  // namespace slj

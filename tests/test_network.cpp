@@ -1,0 +1,144 @@
+#include "bayes/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace slj::bayes {
+namespace {
+
+/// The classic rain / sprinkler / wet-grass network with hand-checked
+/// posteriors.
+Network sprinkler_network() {
+  Network net;
+  auto rain_cpd = std::make_shared<FixedCpd>(2, std::vector<int>{}, std::vector<double>{0.8, 0.2});
+  const int rain = net.add_node("Rain", 2, {}, rain_cpd);
+  auto sprinkler_cpd = std::make_shared<FixedCpd>(
+      2, std::vector<int>{2}, std::vector<double>{0.6, 0.4, 0.99, 0.01});
+  const int sprinkler = net.add_node("Sprinkler", 2, {rain}, sprinkler_cpd);
+  auto wet_cpd = std::make_shared<FixedCpd>(
+      2, std::vector<int>{2, 2},
+      // rows: (S=0,R=0), (S=0,R=1), (S=1,R=0), (S=1,R=1)
+      std::vector<double>{1.0, 0.0, 0.2, 0.8, 0.1, 0.9, 0.01, 0.99});
+  net.add_node("WetGrass", 2, {sprinkler, rain}, wet_cpd);
+  return net;
+}
+
+TEST(Network, NodeLookupAndMetadata) {
+  const Network net = sprinkler_network();
+  EXPECT_EQ(net.node_count(), 3);
+  EXPECT_EQ(net.find("Rain"), std::optional<int>(0));
+  EXPECT_EQ(net.find("WetGrass"), std::optional<int>(2));
+  EXPECT_FALSE(net.find("Nope").has_value());
+  EXPECT_EQ(net.cardinality(1), 2);
+  EXPECT_EQ(net.parents(2).size(), 2u);
+}
+
+TEST(Network, JointProbabilityOfFullAssignment) {
+  const Network net = sprinkler_network();
+  // P(R=1, S=0, W=1) = 0.2 * 0.99 * 0.8 = 0.1584
+  EXPECT_NEAR(net.joint_prob(std::vector<int>{1, 0, 1}), 0.2 * 0.99 * 0.8, 1e-12);
+  // P(R=0, S=0, W=1) = 0.8 * 0.6 * 0 = 0
+  EXPECT_DOUBLE_EQ(net.joint_prob(std::vector<int>{0, 0, 1}), 0.0);
+}
+
+TEST(Network, EvidenceProbabilityMarginalizes) {
+  const Network net = sprinkler_network();
+  // P(W=1) = sum over R,S:
+  //   R=1,S=0: .2*.99*.8      = .1584
+  //   R=1,S=1: .2*.01*.99     = .00198
+  //   R=0,S=1: .8*.4*.9       = .288
+  //   R=0,S=0: 0
+  Assignment evidence{kUnobserved, kUnobserved, 1};
+  EXPECT_NEAR(net.evidence_prob(evidence), 0.44838, 1e-9);
+  // No evidence at all marginalizes to 1.
+  EXPECT_NEAR(net.evidence_prob({kUnobserved, kUnobserved, kUnobserved}), 1.0, 1e-12);
+}
+
+TEST(Network, PosteriorMatchesHandComputation) {
+  const Network net = sprinkler_network();
+  Assignment evidence{kUnobserved, kUnobserved, 1};  // wet grass observed
+  const std::vector<double> rain_post = net.posterior(0, evidence);
+  EXPECT_NEAR(rain_post[1], 0.16038 / 0.44838, 1e-9);
+  const std::vector<double> sprinkler_post = net.posterior(1, evidence);
+  EXPECT_NEAR(sprinkler_post[1], 0.28998 / 0.44838, 1e-9);
+}
+
+TEST(Network, PosteriorSumsToOne) {
+  const Network net = sprinkler_network();
+  for (int node = 0; node < 3; ++node) {
+    const std::vector<double> post = net.posterior(node, {kUnobserved, kUnobserved, 1});
+    double sum = 0.0;
+    for (const double p : post) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Network, ImpossibleEvidenceGivesUniformPosterior) {
+  Network net;
+  auto a_cpd = std::make_shared<FixedCpd>(2, std::vector<int>{}, std::vector<double>{1.0, 0.0});
+  const int a = net.add_node("A", 2, {}, a_cpd);
+  auto b_cpd = std::make_shared<DeterministicCpd>(
+      2, std::vector<int>{2}, [](std::span<const int> p) { return p[0]; });
+  net.add_node("B", 2, {a}, b_cpd);
+  // B=1 is impossible (A is always 0, B copies A).
+  const std::vector<double> post = net.posterior(a, {kUnobserved, 1});
+  EXPECT_DOUBLE_EQ(post[0], 0.5);
+  EXPECT_DOUBLE_EQ(post[1], 0.5);
+}
+
+TEST(Network, FitLearnsFromCompleteData) {
+  Network net;
+  auto a_cpd = std::make_shared<TabularCpd>(2, std::vector<int>{}, 0.0);
+  const int a = net.add_node("A", 2, {}, a_cpd);
+  auto b_cpd = std::make_shared<TabularCpd>(2, std::vector<int>{2}, 0.0);
+  net.add_node("B", 2, {a}, b_cpd);
+
+  std::vector<Assignment> rows = {{0, 0}, {0, 0}, {0, 1}, {1, 1}};
+  net.fit(rows);
+  // P(A=0) = 3/4; P(B=1|A=0) = 1/3; P(B=1|A=1) = 1.
+  EXPECT_NEAR(net.evidence_prob({0, kUnobserved}), 0.75, 1e-12);
+  const int p0[1] = {0};
+  EXPECT_NEAR(net.cpd(1).prob(1, p0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Network, FitClearsPreviousCounts) {
+  Network net;
+  auto cpd = std::make_shared<TabularCpd>(2, std::vector<int>{}, 0.0);
+  net.add_node("A", 2, {}, cpd);
+  std::vector<Assignment> first = {{1}, {1}};
+  net.fit(first);
+  std::vector<Assignment> second = {{0}, {0}};
+  net.fit(second);
+  EXPECT_DOUBLE_EQ(net.evidence_prob({0}), 1.0);
+}
+
+TEST(Network, ConstructionValidation) {
+  Network net;
+  auto cpd2 = std::make_shared<TabularCpd>(2, std::vector<int>{}, 1.0);
+  net.add_node("A", 2, {}, cpd2);
+  // Duplicate name.
+  auto cpd2b = std::make_shared<TabularCpd>(2, std::vector<int>{}, 1.0);
+  EXPECT_THROW(net.add_node("A", 2, {}, cpd2b), std::invalid_argument);
+  // CPD child cardinality mismatch.
+  auto cpd3 = std::make_shared<TabularCpd>(3, std::vector<int>{}, 1.0);
+  EXPECT_THROW(net.add_node("B", 2, {}, cpd3), std::invalid_argument);
+  // Parent that does not exist yet (forward reference → cycles impossible).
+  auto cpd_p = std::make_shared<TabularCpd>(2, std::vector<int>{2}, 1.0);
+  EXPECT_THROW(net.add_node("C", 2, {5}, cpd_p), std::invalid_argument);
+  // Parent cardinality mismatch.
+  auto cpd_wrong = std::make_shared<TabularCpd>(2, std::vector<int>{3}, 1.0);
+  EXPECT_THROW(net.add_node("D", 2, {0}, cpd_wrong), std::invalid_argument);
+}
+
+TEST(Network, ToDotListsStructure) {
+  const Network net = sprinkler_network();
+  const std::string dot = net.to_dot("sprinkler");
+  EXPECT_NE(dot.find("digraph sprinkler"), std::string::npos);
+  EXPECT_NE(dot.find("Rain"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slj::bayes

@@ -1,0 +1,161 @@
+#include "segmentation/object_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "imaging/draw.hpp"
+
+namespace slj::seg {
+namespace {
+
+/// Black studio background with optional noise.
+RgbImage studio_background(int w, int h, unsigned seed = 0, double sigma = 0.0) {
+  RgbImage img(w, h, {12, 12, 15});
+  if (sigma > 0.0) {
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> noise(0.0, sigma);
+    for (auto& p : img.data()) {
+      const auto jitter = [&](std::uint8_t v) {
+        return static_cast<std::uint8_t>(std::clamp(v + noise(rng), 0.0, 255.0));
+      };
+      p = {jitter(p.r), jitter(p.g), jitter(p.b)};
+    }
+  }
+  return img;
+}
+
+/// Paints a bright disc "object" onto a copy of the background.
+RgbImage with_object(const RgbImage& bg, PointF centre, double radius) {
+  RgbImage frame = bg;
+  BinaryImage mask(bg.width(), bg.height(), 0);
+  fill_disc(mask, centre, radius);
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      if (mask.at(x, y)) frame.at(x, y) = {180, 150, 120};
+    }
+  }
+  return frame;
+}
+
+TEST(ObjectExtractor, ThrowsWithoutBackground) {
+  ObjectExtractor ex;
+  EXPECT_THROW(ex.silhouette(RgbImage(8, 8)), std::logic_error);
+}
+
+TEST(ObjectExtractor, ThrowsOnFrameSizeMismatch) {
+  ObjectExtractor ex;
+  ex.set_background(studio_background(8, 8));
+  EXPECT_THROW(ex.silhouette(RgbImage(9, 8)), std::invalid_argument);
+}
+
+TEST(ObjectExtractor, RejectsEvenMedianWindow) {
+  ExtractorParams params;
+  params.median_window = 4;
+  EXPECT_THROW(ObjectExtractor{params}, std::invalid_argument);
+}
+
+TEST(ObjectExtractor, IdenticalFrameYieldsEmptyMask) {
+  const RgbImage bg = studio_background(16, 16);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(bg);
+  EXPECT_DOUBLE_EQ(res.max_difference, 0.0);
+  EXPECT_EQ(count_foreground(res.silhouette), 0u);
+}
+
+TEST(ObjectExtractor, RecoversBrightDisc) {
+  const RgbImage bg = studio_background(48, 48);
+  const RgbImage frame = with_object(bg, {24, 24}, 10.0);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+
+  BinaryImage expected(48, 48, 0);
+  fill_disc(expected, {24, 24}, 10.0);
+  EXPECT_GT(iou(res.silhouette, expected), 0.85);
+}
+
+TEST(ObjectExtractor, NormalizationPutsMaxAt255) {
+  const RgbImage bg = studio_background(32, 32);
+  const RgbImage frame = with_object(bg, {16, 16}, 6.0);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+  std::uint8_t max_v = 0;
+  for (const auto v : res.normalized.data()) max_v = std::max(max_v, v);
+  EXPECT_EQ(max_v, 255);
+}
+
+TEST(ObjectExtractor, RawMaskUsesThObjectThreshold) {
+  const RgbImage bg = studio_background(32, 32);
+  const RgbImage frame = with_object(bg, {16, 16}, 6.0);
+  ExtractorParams params;
+  params.th_object = 20;
+  ObjectExtractor ex(params);
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(res.raw_mask.at(x, y), res.normalized.at(x, y) > 20 ? 1 : 0);
+    }
+  }
+}
+
+TEST(ObjectExtractor, MedianSmoothingRemovesNoiseSpecks) {
+  const RgbImage bg = studio_background(48, 48);
+  RgbImage frame = with_object(bg, {24, 24}, 10.0);
+  // Sprinkle isolated bright pixels — sensor noise.
+  std::mt19937 rng(9);
+  for (int i = 0; i < 12; ++i) {
+    const int x = static_cast<int>(rng() % 48);
+    const int y = static_cast<int>(rng() % 48);
+    if (distance(PointF{static_cast<double>(x), static_cast<double>(y)}, PointF{24, 24}) > 14) {
+      frame.at(x, y) = {200, 200, 200};
+    }
+  }
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+  // The specks survive in the raw mask but not the final silhouette.
+  BinaryImage expected(48, 48, 0);
+  fill_disc(expected, {24, 24}, 10.0);
+  EXPECT_GT(iou(res.silhouette, expected), 0.80);
+}
+
+TEST(ObjectExtractor, KeepLargestRemovesSecondaryBlobs) {
+  const RgbImage bg = studio_background(64, 32);
+  RgbImage frame = with_object(bg, {20, 16}, 9.0);
+  frame = with_object(frame, {52, 16}, 4.0);  // smaller distractor
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const BinaryImage sil = ex.silhouette(frame);
+  // Nothing of the small blob remains.
+  EXPECT_EQ(sil.at(52, 16), 0);
+  EXPECT_EQ(sil.at(20, 16), 1);
+}
+
+TEST(ObjectExtractor, HoleFillClosesInteriorGaps) {
+  const RgbImage bg = studio_background(48, 48);
+  RgbImage frame = with_object(bg, {24, 24}, 10.0);
+  // Punch a dark hole in the object's middle.
+  frame.at(24, 24) = bg.at(24, 24);
+  frame.at(25, 24) = bg.at(25, 24);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const BinaryImage sil = ex.silhouette(frame);
+  EXPECT_EQ(sil.at(24, 24), 1);
+}
+
+TEST(ObjectExtractor, WorksUnderBackgroundNoise) {
+  const RgbImage bg = studio_background(48, 48, 7, 3.0);
+  const RgbImage frame = with_object(studio_background(48, 48, 8, 3.0), {24, 24}, 10.0);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  BinaryImage expected(48, 48, 0);
+  fill_disc(expected, {24, 24}, 10.0);
+  EXPECT_GT(iou(ex.silhouette(frame), expected), 0.75);
+}
+
+}  // namespace
+}  // namespace slj::seg

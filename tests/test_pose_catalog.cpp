@@ -1,0 +1,94 @@
+#include "pose/pose_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slj::pose {
+namespace {
+
+TEST(PoseCatalog, HasExactly22Poses) {
+  EXPECT_EQ(kPoseCount, 22);
+  const auto poses = all_poses();
+  std::set<int> ids;
+  for (const PoseId p : poses) ids.insert(index_of(p));
+  EXPECT_EQ(ids.size(), 22u);
+}
+
+TEST(PoseCatalog, PaperNamedPosesExist) {
+  EXPECT_EQ(pose_name(PoseId::kStandHandsOverlap), "standing & hands overlap with body");
+  EXPECT_EQ(pose_name(PoseId::kStandHandsForward), "standing & hands swung forward");
+  EXPECT_EQ(pose_name(PoseId::kExtendedHandsForward),
+            "knees and feet extended & hands raised forward");
+  EXPECT_NE(std::string(pose_name(PoseId::kLandedWaistBentHandsForward)).find("waist bent"),
+            std::string::npos);
+}
+
+TEST(PoseCatalog, EveryPoseHasUniqueName) {
+  std::set<std::string_view> names;
+  for (const PoseId p : all_poses()) names.insert(pose_name(p));
+  EXPECT_EQ(names.size(), 22u);
+}
+
+TEST(PoseCatalog, EveryStageHasPoses) {
+  std::array<PoseId, kPoseCount> buf{};
+  int total = 0;
+  for (int s = 0; s < kStageCount; ++s) {
+    const int n = poses_in_stage(stage_from_index(s), buf);
+    EXPECT_GT(n, 0) << stage_name(stage_from_index(s));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(stage_of(buf[static_cast<std::size_t>(i)]), stage_from_index(s));
+    }
+    total += n;
+  }
+  EXPECT_EQ(total, kPoseCount);
+}
+
+TEST(PoseCatalog, StageAssignmentsMatchPaperSemantics) {
+  EXPECT_EQ(stage_of(PoseId::kStandHandsOverlap), Stage::kBeforeJumping);
+  EXPECT_EQ(stage_of(PoseId::kExtendedHandsForward), Stage::kJumping);
+  EXPECT_EQ(stage_of(PoseId::kAirTuckHandsForward), Stage::kInTheAir);
+  EXPECT_EQ(stage_of(PoseId::kLandedSquatHandsForward), Stage::kLanding);
+}
+
+TEST(PoseCatalog, ResetPoseIsStandingOverlap) {
+  EXPECT_EQ(kResetPose, PoseId::kStandHandsOverlap);
+  EXPECT_EQ(stage_of(kResetPose), Stage::kBeforeJumping);
+}
+
+TEST(PoseCatalog, IndexRoundTrip) {
+  for (int i = 0; i < kPoseCount; ++i) {
+    EXPECT_EQ(index_of(pose_from_index(i)), i);
+  }
+  EXPECT_THROW(pose_from_index(-1), std::out_of_range);
+  EXPECT_THROW(pose_from_index(23), std::out_of_range);
+  EXPECT_EQ(pose_from_index(22), PoseId::kUnknown);
+}
+
+TEST(PoseCatalog, StageIndexRoundTrip) {
+  for (int i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(index_of(stage_from_index(i)), i);
+  }
+  EXPECT_THROW(stage_from_index(4), std::out_of_range);
+}
+
+TEST(PoseCatalog, StageTransitionsMonotoneByOne) {
+  EXPECT_TRUE(stage_transition_allowed(Stage::kBeforeJumping, Stage::kBeforeJumping));
+  EXPECT_TRUE(stage_transition_allowed(Stage::kBeforeJumping, Stage::kJumping));
+  EXPECT_FALSE(stage_transition_allowed(Stage::kBeforeJumping, Stage::kInTheAir));
+  EXPECT_FALSE(stage_transition_allowed(Stage::kLanding, Stage::kBeforeJumping));
+  EXPECT_TRUE(stage_transition_allowed(Stage::kInTheAir, Stage::kLanding));
+  // The paper's example: before-jumping and landing cannot be consecutive.
+  EXPECT_FALSE(stage_transition_allowed(Stage::kLanding, Stage::kBeforeJumping));
+  EXPECT_FALSE(stage_transition_allowed(Stage::kBeforeJumping, Stage::kLanding));
+}
+
+TEST(PoseCatalog, StageNames) {
+  EXPECT_EQ(stage_name(Stage::kBeforeJumping), "before jumping");
+  EXPECT_EQ(stage_name(Stage::kJumping), "jumping");
+  EXPECT_EQ(stage_name(Stage::kInTheAir), "in the air");
+  EXPECT_EQ(stage_name(Stage::kLanding), "landing");
+}
+
+}  // namespace
+}  // namespace slj::pose

@@ -1,0 +1,175 @@
+#include "skelgraph/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "skelgraph/skeleton_graph.hpp"
+
+namespace slj::skel {
+namespace {
+
+/// The Fig. 4 scenario: a long main path with a junction near one end from
+/// which TWO short branches hang — one noisy (shorter), one correct. The
+/// correct branch is short only because the junction sits close to the true
+/// limb tip; once the noisy branch is gone and the junction dissolves, the
+/// correct branch fuses with the main path and must survive.
+SkeletonGraph fig4_graph(int noisy_len, int correct_len) {
+  SkeletonGraph g;
+  Node far_end, junction, noisy_tip, correct_tip;
+  far_end.pos = {0, 0};
+  junction.pos = {30, 0};
+  noisy_tip.pos = {30 + noisy_len, 3};
+  correct_tip.pos = {30 + correct_len, -3};
+  far_end.type = noisy_tip.type = correct_tip.type = NodeType::kEnd;
+  junction.type = NodeType::kJunction;
+  const int ie = g.add_node(far_end);
+  const int ij = g.add_node(junction);
+  const int in = g.add_node(noisy_tip);
+  const int ic = g.add_node(correct_tip);
+
+  Edge main;
+  main.a = ie;
+  main.b = ij;
+  for (int x = 0; x <= 30; ++x) main.path.push_back({x, 0});
+  g.add_edge(main);
+
+  Edge noisy;
+  noisy.a = ij;
+  noisy.b = in;
+  for (int i = 0; i <= noisy_len; ++i) noisy.path.push_back({30 + i, i == 0 ? 0 : 3});
+  g.add_edge(noisy);
+
+  Edge correct;
+  correct.a = ij;
+  correct.b = ic;
+  for (int i = 0; i <= correct_len; ++i) correct.path.push_back({30 + i, i == 0 ? 0 : -3});
+  g.add_edge(correct);
+  return g;
+}
+
+TEST(Prune, RemovesShortNoisyBranch) {
+  SkeletonGraph g = fig4_graph(4, 20);
+  const PruneStats stats = prune_branches(g, 10);
+  EXPECT_EQ(stats.branches_removed, 1u);
+  // Junction dissolved: two alive nodes (both ends) and one merged edge.
+  EXPECT_EQ(g.alive_edge_count(), 1u);
+}
+
+TEST(Prune, OneAtATimeSavesTheCorrectBranch) {
+  // BOTH branches are below the threshold (the paper's Fig. 4 case).
+  SkeletonGraph g = fig4_graph(4, 8);
+  const PruneStats stats = prune_branches(g, 10, PruningMode::kOneAtATime);
+  EXPECT_EQ(stats.branches_removed, 1u);
+  // The correct branch's tip pixel must still be rasterizable: it merged
+  // into the long path.
+  bool correct_tip_alive = false;
+  for (const Edge& e : g.edges()) {
+    if (!e.alive) continue;
+    for (const PointI& p : e.path) {
+      if (p == PointI{38, -3}) correct_tip_alive = true;
+    }
+  }
+  EXPECT_TRUE(correct_tip_alive);
+}
+
+TEST(Prune, BatchModeDeletesBothBranches) {
+  SkeletonGraph g = fig4_graph(4, 8);
+  const PruneStats stats = prune_branches(g, 10, PruningMode::kBatch);
+  EXPECT_EQ(stats.branches_removed, 2u);
+  // Correct branch gone too — the failure mode of Fig. 4(b).
+  bool correct_tip_alive = false;
+  for (const Edge& e : g.edges()) {
+    if (!e.alive) continue;
+    for (const PointI& p : e.path) {
+      if (p == PointI{38, -3}) correct_tip_alive = true;
+    }
+  }
+  EXPECT_FALSE(correct_tip_alive);
+}
+
+TEST(Prune, LongBranchesAreKept) {
+  SkeletonGraph g = fig4_graph(15, 20);
+  const PruneStats stats = prune_branches(g, 10);
+  EXPECT_EQ(stats.branches_removed, 0u);
+  EXPECT_EQ(g.alive_edge_count(), 3u);
+}
+
+TEST(Prune, ThresholdCountsPathVertices) {
+  // Branch with exactly 10 vertices (9 steps) is NOT pruned ("less than 10
+  // vertices"); 9 vertices is.
+  SkeletonGraph g9 = fig4_graph(8, 20);   // 9 path vertices (0..8)
+  EXPECT_EQ(prune_branches(g9, 10).branches_removed, 1u);
+  SkeletonGraph g10 = fig4_graph(9, 20);  // 10 path vertices
+  EXPECT_EQ(prune_branches(g10, 10).branches_removed, 0u);
+}
+
+TEST(Prune, IsolatedSegmentNeverPruned) {
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {3, 0};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  Edge e;
+  e.a = ia;
+  e.b = ib;
+  e.path = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  g.add_edge(e);
+  const PruneStats stats = prune_branches(g, 10);
+  EXPECT_EQ(stats.branches_removed, 0u);
+  EXPECT_EQ(g.alive_edge_count(), 1u);
+}
+
+TEST(Prune, CascadingPruneEatsChainOfShortBranches) {
+  // A "comb": main path with several short teeth. All teeth go, one round
+  // after another, and the spine survives.
+  SkeletonGraph g;
+  std::vector<int> spine_nodes;
+  Node left;
+  left.pos = {0, 0};
+  left.type = NodeType::kEnd;
+  spine_nodes.push_back(g.add_node(left));
+  for (int i = 1; i <= 3; ++i) {
+    Node j;
+    j.pos = {i * 15, 0};
+    j.type = NodeType::kJunction;
+    spine_nodes.push_back(g.add_node(j));
+  }
+  Node right;
+  right.pos = {60, 0};
+  right.type = NodeType::kEnd;
+  spine_nodes.push_back(g.add_node(right));
+  for (std::size_t i = 1; i < spine_nodes.size(); ++i) {
+    Edge e;
+    e.a = spine_nodes[i - 1];
+    e.b = spine_nodes[i];
+    const int x0 = g.node(spine_nodes[i - 1]).pos.x;
+    const int x1 = g.node(spine_nodes[i]).pos.x;
+    for (int x = x0; x <= x1; ++x) e.path.push_back({x, 0});
+    g.add_edge(e);
+  }
+  // Teeth at each junction.
+  for (std::size_t i = 1; i + 1 < spine_nodes.size(); ++i) {
+    Node tip;
+    tip.pos = {g.node(spine_nodes[i]).pos.x, 4};
+    tip.type = NodeType::kEnd;
+    const int it = g.add_node(tip);
+    Edge tooth;
+    tooth.a = spine_nodes[i];
+    tooth.b = it;
+    for (int y = 0; y <= 4; ++y) tooth.path.push_back({g.node(spine_nodes[i]).pos.x, y});
+    g.add_edge(tooth);
+  }
+
+  const PruneStats stats = prune_branches(g, 10, PruningMode::kOneAtATime);
+  EXPECT_EQ(stats.branches_removed, 3u);
+  EXPECT_GE(stats.rounds, 3u);
+  // The spine is now a single merged edge end-to-end.
+  EXPECT_EQ(g.alive_edge_count(), 1u);
+  for (const Edge& e : g.edges()) {
+    if (e.alive) EXPECT_EQ(e.path.size(), 61u);
+  }
+}
+
+}  // namespace
+}  // namespace slj::skel

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pose/classifier.hpp"
+
+namespace slj::pose {
+namespace {
+
+FeatureCandidate make_candidate(const AreaEncoder& enc, int head, int hand, int foot) {
+  FeatureCandidate c;
+  c.features[Part::kHead] = head;
+  c.features[Part::kChest] = enc.missing_state();
+  c.features[Part::kHand] = hand;
+  c.features[Part::kKnee] = enc.missing_state();
+  c.features[Part::kFoot] = foot;
+  c.nodes = {0, -1, 1, -1, 2};
+  c.occupancy.assign(static_cast<std::size_t>(enc.num_areas()), 0);
+  for (const int a : c.features.areas) {
+    if (a < enc.num_areas()) c.occupancy[static_cast<std::size_t>(a)] = 1;
+  }
+  return c;
+}
+
+PoseDbnClassifier trained() {
+  ClassifierConfig cfg;
+  cfg.th_pose = 0.31;
+  cfg.laplace_alpha = 0.4;
+  PoseDbnClassifier clf(cfg);
+  const AreaEncoder& enc = clf.encoder();
+  for (int i = 0; i < 30; ++i) {
+    clf.observe(PoseId::kStandHandsForward, make_candidate(enc, 2, 0, 6),
+                PoseId::kStandHandsForward, Stage::kBeforeJumping, false);
+    clf.observe(PoseId::kAirTuckHandsForward, make_candidate(enc, 2, 1, 7),
+                PoseId::kAirTuckHandsForward, Stage::kInTheAir, true);
+  }
+  return clf;
+}
+
+TEST(Serialization, RoundTripPreservesAllProbabilities) {
+  const PoseDbnClassifier original = trained();
+  std::stringstream buffer;
+  original.save(buffer);
+  const PoseDbnClassifier restored = PoseDbnClassifier::load(buffer);
+
+  const FeatureCandidate probe = make_candidate(original.encoder(), 2, 0, 6);
+  for (int p = 0; p < kPoseCount; ++p) {
+    const PoseId pose = pose_from_index(p);
+    EXPECT_DOUBLE_EQ(original.prior_prob(pose), restored.prior_prob(pose));
+    EXPECT_DOUBLE_EQ(original.log_likelihood(pose, probe),
+                     restored.log_likelihood(pose, probe));
+    EXPECT_DOUBLE_EQ(
+        original.transition_prob(pose, PoseId::kStandHandsForward, Stage::kBeforeJumping),
+        restored.transition_prob(pose, PoseId::kStandHandsForward, Stage::kBeforeJumping));
+  }
+  for (int s = 0; s < kStageCount; ++s) {
+    const Stage stage = stage_from_index(s);
+    EXPECT_DOUBLE_EQ(original.airborne_prob(true, stage), restored.airborne_prob(true, stage));
+    for (int s2 = 0; s2 < kStageCount; ++s2) {
+      EXPECT_DOUBLE_EQ(original.stage_prob(stage_from_index(s2), stage),
+                       restored.stage_prob(stage_from_index(s2), stage));
+    }
+  }
+}
+
+TEST(Serialization, RoundTripPreservesConfig) {
+  const PoseDbnClassifier original = trained();
+  std::stringstream buffer;
+  original.save(buffer);
+  const PoseDbnClassifier restored = PoseDbnClassifier::load(buffer);
+  EXPECT_EQ(restored.config().num_areas, original.config().num_areas);
+  EXPECT_DOUBLE_EQ(restored.config().th_pose, 0.31);
+  EXPECT_DOUBLE_EQ(restored.config().laplace_alpha, 0.4);
+  EXPECT_EQ(restored.config().dominant_pose, original.config().dominant_pose);
+}
+
+TEST(Serialization, RestoredClassifierClassifiesIdentically) {
+  const PoseDbnClassifier original = trained();
+  std::stringstream buffer;
+  original.save(buffer);
+  const PoseDbnClassifier restored = PoseDbnClassifier::load(buffer);
+
+  const std::vector<FeatureCandidate> frame{make_candidate(original.encoder(), 2, 0, 6)};
+  auto s1 = original.initial_state();
+  auto s2 = restored.initial_state();
+  const FrameResult r1 = original.classify(frame, false, s1);
+  const FrameResult r2 = restored.classify(frame, false, s2);
+  EXPECT_EQ(r1.pose, r2.pose);
+  EXPECT_DOUBLE_EQ(r1.posterior, r2.posterior);
+}
+
+TEST(Serialization, TrainingFramesSurvive) {
+  const PoseDbnClassifier original = trained();
+  std::stringstream buffer;
+  original.save(buffer);
+  EXPECT_DOUBLE_EQ(PoseDbnClassifier::load(buffer).training_frames(),
+                   original.training_frames());
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::stringstream bad("not-a-model 1");
+  EXPECT_THROW(PoseDbnClassifier::load(bad), std::runtime_error);
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  std::stringstream bad("slj-pose-model 999\nconfig 8");
+  EXPECT_THROW(PoseDbnClassifier::load(bad), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedModel) {
+  const PoseDbnClassifier original = trained();
+  std::stringstream buffer;
+  original.save(buffer);
+  const std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(PoseDbnClassifier::load(truncated), std::runtime_error);
+}
+
+TEST(Serialization, NonDefaultAreaCountRoundTrips) {
+  ClassifierConfig cfg;
+  cfg.num_areas = 12;
+  PoseDbnClassifier original(cfg);
+  std::stringstream buffer;
+  original.save(buffer);
+  const PoseDbnClassifier restored = PoseDbnClassifier::load(buffer);
+  EXPECT_EQ(restored.encoder().num_areas(), 12);
+}
+
+}  // namespace
+}  // namespace slj::pose

@@ -1,0 +1,141 @@
+#include "skelgraph/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slj::skel {
+namespace {
+
+TEST(DouglasPeucker, StraightLineKeepsOnlyEndpoints) {
+  std::vector<PointI> path;
+  for (int x = 0; x <= 20; ++x) path.push_back({x, 0});
+  const auto keep = douglas_peucker(path, 1.5);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep.front(), 0u);
+  EXPECT_EQ(keep.back(), 20u);
+}
+
+TEST(DouglasPeucker, RightAngleKeepsCorner) {
+  std::vector<PointI> path;
+  for (int x = 0; x <= 10; ++x) path.push_back({x, 0});
+  for (int y = 1; y <= 10; ++y) path.push_back({10, y});
+  const auto keep = douglas_peucker(path, 1.5);
+  ASSERT_EQ(keep.size(), 3u);
+  EXPECT_EQ(path[keep[1]], (PointI{10, 0}));
+}
+
+TEST(DouglasPeucker, ToleranceControlsDetail) {
+  // A shallow 'V' with 3-pixel deviation.
+  std::vector<PointI> path;
+  for (int x = 0; x <= 10; ++x) path.push_back({x, (x * 3) / 10});
+  for (int x = 11; x <= 20; ++x) path.push_back({x, 3 - ((x - 10) * 3) / 10});
+  EXPECT_EQ(douglas_peucker(path, 5.0).size(), 2u);  // flattened away
+  EXPECT_GE(douglas_peucker(path, 1.0).size(), 3u);  // corner kept
+}
+
+TEST(DouglasPeucker, TrivialInputs) {
+  EXPECT_TRUE(douglas_peucker({}, 1.0).empty());
+  EXPECT_EQ(douglas_peucker({{3, 3}}, 1.0).size(), 1u);
+  EXPECT_EQ(douglas_peucker({{0, 0}, {1, 1}}, 1.0).size(), 2u);
+}
+
+SkeletonGraph elbow_graph() {
+  // One edge from (0,0) to (10,10) via a right-angle corner at (10,0).
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {10, 10};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  Edge e;
+  e.a = ia;
+  e.b = ib;
+  for (int x = 0; x <= 10; ++x) e.path.push_back({x, 0});
+  for (int y = 1; y <= 10; ++y) e.path.push_back({10, y});
+  g.add_edge(e);
+  return g;
+}
+
+TEST(SplitEdgesAtBends, CreatesBendNodeAtCorner) {
+  SkeletonGraph g = elbow_graph();
+  const BendSplitStats stats = split_edges_at_bends(g, 2.0);
+  EXPECT_EQ(stats.edges_split, 1u);
+  EXPECT_EQ(stats.bends_added, 1u);
+  // One bend node at the corner with two sub-edges.
+  std::size_t bends = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.alive && n.type == NodeType::kBend) {
+      ++bends;
+      EXPECT_EQ(n.pos, (PointI{10, 0}));
+    }
+  }
+  EXPECT_EQ(bends, 1u);
+  EXPECT_EQ(g.alive_edge_count(), 2u);
+}
+
+TEST(SplitEdgesAtBends, StraightEdgeUntouched) {
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {15, 0};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  Edge e;
+  e.a = ia;
+  e.b = ib;
+  for (int x = 0; x <= 15; ++x) e.path.push_back({x, 0});
+  g.add_edge(e);
+
+  const BendSplitStats stats = split_edges_at_bends(g, 2.0);
+  EXPECT_EQ(stats.edges_split, 0u);
+  EXPECT_EQ(g.alive_edge_count(), 1u);
+}
+
+TEST(SplitEdgesAtBends, PreservesTotalPathCoverage) {
+  SkeletonGraph g = elbow_graph();
+  const BinaryImage before = g.rasterize(16, 16);
+  split_edges_at_bends(g, 2.0);
+  const BinaryImage after = g.rasterize(16, 16);
+  EXPECT_EQ(before, after);
+}
+
+TEST(SplitEdgesAtBends, MinSegmentSuppressesTinyBends) {
+  // Corner 2 pixels from one end: suppressed by min_segment_px = 5.
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {2, 10};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);
+  Edge e;
+  e.a = ia;
+  e.b = ib;
+  e.path = {{0, 0}, {1, 0}, {2, 0}};
+  for (int y = 1; y <= 10; ++y) e.path.push_back({2, y});
+  g.add_edge(e);
+
+  const BendSplitStats stats = split_edges_at_bends(g, 1.0, 5.0);
+  EXPECT_EQ(stats.bends_added, 0u);
+}
+
+TEST(SplitEdgesAtBends, SelfLoopsIgnored) {
+  SkeletonGraph g;
+  Node seat;
+  seat.pos = {0, 0};
+  seat.type = NodeType::kLoopSeat;
+  const int is = g.add_node(seat);
+  Edge ring;
+  ring.a = is;
+  ring.b = is;
+  for (int x = 0; x <= 6; ++x) ring.path.push_back({x, 0});
+  for (int y = 1; y <= 6; ++y) ring.path.push_back({6, y});
+  ring.path.push_back({0, 0});
+  g.add_edge(ring);
+  const BendSplitStats stats = split_edges_at_bends(g, 1.0);
+  EXPECT_EQ(stats.edges_split, 0u);
+}
+
+}  // namespace
+}  // namespace slj::skel

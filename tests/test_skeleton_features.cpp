@@ -1,0 +1,221 @@
+#include "pose/skeleton_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "skelgraph/skeleton_graph.hpp"
+
+namespace slj::pose {
+namespace {
+
+using skel::Edge;
+using skel::Node;
+using skel::NodeType;
+using skel::SkeletonGraph;
+
+/// Stick figure graph: head on top, junction at the shoulders, one hand
+/// branch, junction at hip, knee bend, foot at the bottom.
+///
+///        head (50,10)
+///          |
+///   hand --+ shoulders (50,30) -- hand end (75,35)
+///          |
+///        hip (50,60)
+///          |
+///        knee (55,80)
+///          |
+///        foot (50,100)
+struct Figure {
+  SkeletonGraph graph;
+  int head, shoulders, hand, hip, knee, foot;
+};
+
+Figure stick_figure() {
+  Figure f;
+  auto add = [&](PointI pos, NodeType type) {
+    Node n;
+    n.pos = pos;
+    n.type = type;
+    n.cluster = {pos};
+    return f.graph.add_node(n);
+  };
+  f.head = add({50, 10}, NodeType::kEnd);
+  f.shoulders = add({50, 30}, NodeType::kJunction);
+  f.hand = add({75, 35}, NodeType::kEnd);
+  f.hip = add({50, 60}, NodeType::kJunction);
+  f.knee = add({55, 80}, NodeType::kBend);
+  f.foot = add({50, 100}, NodeType::kEnd);
+
+  auto connect = [&](int a, int b) {
+    Edge e;
+    e.a = a;
+    e.b = b;
+    const PointI pa = f.graph.node(a).pos;
+    const PointI pb = f.graph.node(b).pos;
+    // Straightline path with intermediate pixels for arc-length math.
+    const int steps = std::max(std::abs(pa.x - pb.x), std::abs(pa.y - pb.y));
+    for (int i = 0; i <= steps; ++i) {
+      e.path.push_back({pa.x + (pb.x - pa.x) * i / steps, pa.y + (pb.y - pa.y) * i / steps});
+    }
+    f.graph.add_edge(e);
+  };
+  connect(f.head, f.shoulders);
+  connect(f.shoulders, f.hand);
+  connect(f.shoulders, f.hip);
+  connect(f.hip, f.knee);
+  connect(f.knee, f.foot);
+  return f;
+}
+
+TEST(NearestNode, FindsClosestAliveNode) {
+  const Figure f = stick_figure();
+  EXPECT_EQ(nearest_node(f.graph, {51, 12}), f.head);
+  EXPECT_EQ(nearest_node(f.graph, {70, 34}), f.hand);
+  EXPECT_EQ(nearest_node(f.graph, {50, 99}), f.foot);
+}
+
+TEST(NearestNode, EmptyGraphGivesMinusOne) {
+  SkeletonGraph g;
+  EXPECT_EQ(nearest_node(g, {0, 0}), -1);
+}
+
+TEST(EstimateTorso, PathMidpointIsWaist) {
+  const Figure f = stick_figure();
+  const TorsoEstimate torso = estimate_torso(f.graph, f.head, f.foot);
+  EXPECT_TRUE(torso.connected);
+  // Head→foot pixel-path length: 20 + 30 + (5·√2 + 15)·2 ≈ 94.14 (the leg
+  // segments are rasterised as diagonal steps plus a straight run).
+  EXPECT_NEAR(torso.path_length, 94.14, 0.5);
+  // Waist at half the arc (≈47.07 from the head): 20 px down the neck
+  // segment plus ≈27.07 of the 30 px shoulders→hip segment → y ≈ 57.
+  EXPECT_NEAR(torso.waist.x, 50.0, 1.5);
+  EXPECT_NEAR(torso.waist.y, 57.1, 2.0);
+}
+
+TEST(EstimateTorso, DisconnectedFallsBackToStraightMidpoint) {
+  SkeletonGraph g;
+  Node a, b;
+  a.pos = {0, 0};
+  b.pos = {10, 10};
+  a.type = b.type = NodeType::kEnd;
+  const int ia = g.add_node(a);
+  const int ib = g.add_node(b);  // no edges at all
+  const TorsoEstimate torso = estimate_torso(g, ia, ib);
+  EXPECT_FALSE(torso.connected);
+  EXPECT_DOUBLE_EQ(torso.waist.x, 5.0);
+  EXPECT_DOUBLE_EQ(torso.waist.y, 5.0);
+}
+
+TEST(EstimateTorso, SameNodeIsItsOwnWaist) {
+  const Figure f = stick_figure();
+  const TorsoEstimate torso = estimate_torso(f.graph, f.head, f.head);
+  EXPECT_TRUE(torso.connected);
+  EXPECT_DOUBLE_EQ(torso.waist.x, 50.0);
+  EXPECT_DOUBLE_EQ(torso.waist.y, 10.0);
+}
+
+TEST(EnumerateCandidates, EmptyGraphGivesNothing) {
+  SkeletonGraph g;
+  const AreaEncoder enc(8);
+  EXPECT_TRUE(enumerate_candidates(g, enc).empty());
+}
+
+TEST(EnumerateCandidates, FootIsLowestKeyPoint) {
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  const auto candidates = enumerate_candidates(f.graph, enc);
+  ASSERT_FALSE(candidates.empty());
+  for (const FeatureCandidate& c : candidates) {
+    EXPECT_EQ(c.nodes[static_cast<std::size_t>(Part::kFoot)], f.foot);
+  }
+}
+
+TEST(EnumerateCandidates, GeometricAssignmentFindsAllParts) {
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  const auto candidates = enumerate_candidates(f.graph, enc);
+  ASSERT_FALSE(candidates.empty());
+  // The top-priority head candidate is the true head (topmost end node).
+  const FeatureCandidate& c = candidates.front();
+  EXPECT_EQ(c.nodes[static_cast<std::size_t>(Part::kHead)], f.head);
+  EXPECT_EQ(c.nodes[static_cast<std::size_t>(Part::kHand)], f.hand);
+  EXPECT_EQ(c.nodes[static_cast<std::size_t>(Part::kKnee)], f.knee);
+  EXPECT_EQ(c.nodes[static_cast<std::size_t>(Part::kChest)], f.shoulders);
+}
+
+TEST(EnumerateCandidates, OccupancyCoversAllKeyPointAreas) {
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  const auto candidates = enumerate_candidates(f.graph, enc);
+  ASSERT_FALSE(candidates.empty());
+  const FeatureCandidate& c = candidates.front();
+  ASSERT_EQ(c.occupancy.size(), 8u);
+  // Each alive node's area must be flagged occupied.
+  for (const Node& n : f.graph.nodes()) {
+    if (!n.alive) continue;
+    const int a = enc.area_of(to_f(n.pos), c.waist);
+    EXPECT_TRUE(c.occupancy[static_cast<std::size_t>(a)]);
+  }
+}
+
+TEST(EnumerateCandidates, FullAssignmentExplainsEverything) {
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  const auto candidates = enumerate_candidates(f.graph, enc);
+  // All six nodes are assigned or colinear with assigned areas; with 5
+  // parts for 6 nodes, at most one area can be left unexplained.
+  EXPECT_LE(candidates.front().unexplained_areas, 1);
+}
+
+TEST(EnumerateCandidates, SingleNodeGraphGivesFootOnlyCandidate) {
+  SkeletonGraph g;
+  Node n;
+  n.pos = {5, 5};
+  n.type = NodeType::kIsolated;
+  g.add_node(n);
+  const AreaEncoder enc(8);
+  const auto candidates = enumerate_candidates(g, enc);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_GE(candidates.front().nodes[static_cast<std::size_t>(Part::kFoot)], 0);
+  EXPECT_EQ(candidates.front().features[Part::kHead], enc.missing_state());
+}
+
+TEST(FeaturesFromTruth, PicksHeadNearestGroundTruth) {
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  PartPoints truth;
+  truth.head = {50, 8};
+  truth.chest = {50, 32};
+  truth.hand = {76, 36};
+  truth.knee = {56, 81};
+  truth.foot = {50, 102};
+  const auto c = features_from_truth(f.graph, enc, truth);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->nodes[static_cast<std::size_t>(Part::kHead)], f.head);
+  EXPECT_EQ(c->nodes[static_cast<std::size_t>(Part::kFoot)], f.foot);
+}
+
+TEST(FeaturesFromTruth, EmptyGraphGivesNullopt) {
+  SkeletonGraph g;
+  const AreaEncoder enc(8);
+  EXPECT_FALSE(features_from_truth(g, enc, PartPoints{}).has_value());
+}
+
+TEST(FeaturesFromTruth, MatchesSomeEnumeratedCandidate) {
+  // Train/test consistency: the training features are one of the test-time
+  // candidates.
+  const Figure f = stick_figure();
+  const AreaEncoder enc(8);
+  PartPoints truth;
+  truth.head = {50, 10};
+  truth.foot = {50, 100};
+  const auto c = features_from_truth(f.graph, enc, truth);
+  ASSERT_TRUE(c.has_value());
+  bool found = false;
+  for (const FeatureCandidate& cand : enumerate_candidates(f.graph, enc)) {
+    if (cand.features == c->features) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace slj::pose

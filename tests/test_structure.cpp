@@ -1,0 +1,197 @@
+#include "bayes/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluation.hpp"
+#include "core/trainer.hpp"
+#include "pose/classifier.hpp"
+
+namespace slj::bayes {
+namespace {
+
+/// Samples where feature 1 copies feature 0 (given any class) and feature 2
+/// is independent noise.
+std::vector<TanSample> coupled_samples(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<TanSample> samples;
+  for (int i = 0; i < n; ++i) {
+    TanSample s;
+    s.class_label = static_cast<int>(rng() % 2);
+    const int x0 = static_cast<int>(rng() % 3);
+    s.features = {x0, x0, static_cast<int>(rng() % 3)};
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(ConditionalMutualInformation, CoupledFeaturesHaveHighMi) {
+  const auto samples = coupled_samples(400, 1);
+  const std::vector<int> cards{3, 3, 3};
+  const double mi_coupled = conditional_mutual_information(samples, 0, 1, cards, 2);
+  const double mi_noise = conditional_mutual_information(samples, 0, 2, cards, 2);
+  EXPECT_GT(mi_coupled, 5.0 * std::max(mi_noise, 1e-6));
+  EXPECT_GE(mi_noise, 0.0);
+}
+
+TEST(ConditionalMutualInformation, IsSymmetric) {
+  const auto samples = coupled_samples(200, 2);
+  const std::vector<int> cards{3, 3, 3};
+  EXPECT_NEAR(conditional_mutual_information(samples, 0, 1, cards, 2),
+              conditional_mutual_information(samples, 1, 0, cards, 2), 1e-12);
+}
+
+TEST(LearnTanStructure, ConnectsCoupledFeatures) {
+  const auto samples = coupled_samples(500, 3);
+  const std::vector<int> cards{3, 3, 3};
+  const std::vector<int> parents = learn_tan_structure(samples, cards, 2);
+  ASSERT_EQ(parents.size(), 3u);
+  // The tree is rooted at feature 0, so feature 1 must hang off feature 0
+  // (its strongest dependency).
+  EXPECT_EQ(parents[0], -1);
+  EXPECT_EQ(parents[1], 0);
+}
+
+TEST(LearnTanStructure, TreeHasNoCycles) {
+  std::mt19937 rng(4);
+  std::vector<TanSample> samples;
+  for (int i = 0; i < 300; ++i) {
+    TanSample s;
+    s.class_label = static_cast<int>(rng() % 3);
+    s.features = {static_cast<int>(rng() % 4), static_cast<int>(rng() % 4),
+                  static_cast<int>(rng() % 4), static_cast<int>(rng() % 4),
+                  static_cast<int>(rng() % 4)};
+    samples.push_back(std::move(s));
+  }
+  const std::vector<int> parents =
+      learn_tan_structure(samples, {4, 4, 4, 4, 4}, 3);
+  // Follow parent chains: must terminate at -1 within n steps.
+  for (std::size_t f = 0; f < parents.size(); ++f) {
+    int cur = static_cast<int>(f);
+    int steps = 0;
+    while (cur != -1) {
+      cur = parents[static_cast<std::size_t>(cur)];
+      ASSERT_LE(++steps, 5) << "cycle through feature " << f;
+    }
+  }
+  // Exactly one root.
+  EXPECT_EQ(std::count(parents.begin(), parents.end(), -1), 1);
+}
+
+TEST(LearnTanStructure, DegenerateInputs) {
+  EXPECT_EQ(learn_tan_structure({}, {3, 3}, 2), (std::vector<int>{-1, -1}));
+  const std::vector<TanSample> one{{0, {1}}};
+  EXPECT_EQ(learn_tan_structure(one, {3}, 2), (std::vector<int>{-1}));
+}
+
+TEST(LearnTanStructure, ValidatesInputs) {
+  std::vector<TanSample> bad{{5, {0, 0}}};  // class out of range
+  EXPECT_THROW(learn_tan_structure(bad, {2, 2}, 2), std::invalid_argument);
+  std::vector<TanSample> bad2{{0, {0}}};  // wrong feature count
+  EXPECT_THROW(learn_tan_structure(bad2, {2, 2}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slj::bayes
+
+namespace slj::pose {
+namespace {
+
+FeatureCandidate simple_candidate(const AreaEncoder& enc, int hand_area) {
+  FeatureCandidate c;
+  c.features[Part::kHead] = 2;
+  c.features[Part::kChest] = 2;
+  c.features[Part::kHand] = hand_area;
+  c.features[Part::kKnee] = 6;
+  c.features[Part::kFoot] = 6;
+  c.occupancy.assign(static_cast<std::size_t>(enc.num_areas()), 0);
+  for (const int a : c.features.areas) {
+    if (a < enc.num_areas()) c.occupancy[static_cast<std::size_t>(a)] = 1;
+  }
+  return c;
+}
+
+TEST(TanClassifier, StructureInstallsAndClassifies) {
+  PoseDbnClassifier clf;
+  clf.set_tan_structure({-1, 0, 0, 1, 1});  // chest/hand depend on head, etc.
+  EXPECT_EQ(clf.tan_structure()[1], 0);
+  const auto& enc = clf.encoder();
+  for (int i = 0; i < 20; ++i) {
+    clf.observe(PoseId::kStandHandsForward, simple_candidate(enc, 0),
+                PoseId::kStandHandsForward, Stage::kBeforeJumping, false);
+    clf.observe(PoseId::kStandHandsBackward, simple_candidate(enc, 4),
+                PoseId::kStandHandsBackward, Stage::kBeforeJumping, false);
+  }
+  auto state = clf.initial_state();
+  const FrameResult r = clf.classify({simple_candidate(enc, 0)}, false, state);
+  EXPECT_EQ(r.pose, PoseId::kStandHandsForward);
+}
+
+TEST(TanClassifier, RejectsStructureAfterTraining) {
+  PoseDbnClassifier clf;
+  clf.observe(PoseId::kStandHandsForward, simple_candidate(clf.encoder(), 0),
+              PoseId::kStandHandsForward, Stage::kBeforeJumping, false);
+  EXPECT_THROW(clf.set_tan_structure({-1, 0, 0, 0, 0}), std::logic_error);
+}
+
+TEST(TanClassifier, RejectsInvalidStructure) {
+  PoseDbnClassifier clf;
+  EXPECT_THROW(clf.set_tan_structure({-1, 1, 0, 0}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(clf.set_tan_structure({0, -1, -1, -1, -1}), std::invalid_argument);  // self
+  EXPECT_THROW(clf.set_tan_structure({-1, 9, -1, -1, -1}), std::invalid_argument);  // range
+}
+
+TEST(TanClassifier, SerializationRoundTripsStructure) {
+  PoseDbnClassifier clf;
+  clf.set_tan_structure({-1, 0, 1, 2, 3});
+  const auto& enc = clf.encoder();
+  for (int i = 0; i < 10; ++i) {
+    clf.observe(PoseId::kStandHandsForward, simple_candidate(enc, 0),
+                PoseId::kStandHandsForward, Stage::kBeforeJumping, false);
+  }
+  std::stringstream buffer;
+  clf.save(buffer);
+  const PoseDbnClassifier restored = PoseDbnClassifier::load(buffer);
+  EXPECT_EQ(restored.tan_structure(), clf.tan_structure());
+  const FeatureCandidate probe = simple_candidate(enc, 0);
+  EXPECT_DOUBLE_EQ(restored.log_likelihood(PoseId::kStandHandsForward, probe),
+                   clf.log_likelihood(PoseId::kStandHandsForward, probe));
+}
+
+TEST(TanClassifier, Fig7ExportStillWellFormedWithTan) {
+  PoseDbnClassifier clf;
+  clf.set_tan_structure({-1, 0, 0, 1, 1});
+  const auto& enc = clf.encoder();
+  for (int i = 0; i < 10; ++i) {
+    clf.observe(PoseId::kStandHandsForward, simple_candidate(enc, 0),
+                PoseId::kStandHandsForward, Stage::kBeforeJumping, false);
+  }
+  // FixedCpd validates that every row sums to 1 — constructing the network
+  // is itself the assertion that TAN marginalization is coherent.
+  const bayes::Network net = clf.build_pose_network(PoseId::kStandHandsForward);
+  EXPECT_EQ(net.node_count(), 14);
+  const bayes::Network dbn = clf.build_dbn_slice();
+  EXPECT_EQ(dbn.node_count(), 16);
+}
+
+TEST(TanClassifier, EndToEndTrainingWorks) {
+  synth::DatasetSpec spec;
+  spec.seed = 2008;
+  spec.train_clip_frames = {44, 43};
+  spec.test_clip_frames = {45};
+  const synth::Dataset ds = synth::generate_dataset(spec);
+  core::FramePipeline pipeline;
+  PoseDbnClassifier clf;
+  core::TrainerOptions options;
+  options.learn_tan_structure = true;
+  const auto stats = core::train_on_dataset(clf, pipeline, ds, options);
+  EXPECT_EQ(stats.frames, ds.train_frames());
+  // A structure was learned (exactly one root).
+  EXPECT_EQ(std::count(clf.tan_structure().begin(), clf.tan_structure().end(), -1), 1);
+  const auto eval = core::evaluate_dataset(clf, pipeline, ds.test);
+  EXPECT_GT(eval.overall_accuracy(), 0.3);
+}
+
+}  // namespace
+}  // namespace slj::pose

@@ -1,0 +1,131 @@
+#include "bayes/viterbi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace slj::bayes {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Two-state umbrella world with hand-checkable decode.
+struct Hmm {
+  double trans[2][2] = {{0.7, 0.3}, {0.3, 0.7}};
+  double prior[2] = {0.5, 0.5};
+
+  std::vector<int> decode(const std::vector<std::array<double, 2>>& emissions) const {
+    return viterbi_decode(
+        2, static_cast<int>(emissions.size()),
+        [&](int s) { return std::log(prior[s]); },
+        [&](int, int f, int t) { return std::log(trans[f][t]); },
+        [&](int t, int s) {
+          const double e = emissions[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+          return e > 0.0 ? std::log(e) : kNegInf;
+        });
+  }
+};
+
+TEST(Viterbi, EmptySequence) {
+  Hmm hmm;
+  EXPECT_TRUE(hmm.decode({}).empty());
+}
+
+TEST(Viterbi, SingleStepPicksBestPriorTimesEmission) {
+  Hmm hmm;
+  const auto path = hmm.decode({{0.9, 0.2}});
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0);
+}
+
+TEST(Viterbi, ConsistentEvidenceStaysInOneState) {
+  Hmm hmm;
+  const auto path = hmm.decode({{0.9, 0.2}, {0.9, 0.2}, {0.9, 0.2}, {0.9, 0.2}});
+  for (const int s : path) EXPECT_EQ(s, 0);
+}
+
+TEST(Viterbi, SingleContradictoryFrameIsSmoothedOver) {
+  // Strong state-0 evidence except one mildly state-1 frame: the sticky
+  // transition keeps the path in state 0 (this is exactly what fixes the
+  // paper's one-frame boundary errors).
+  Hmm hmm;
+  const auto path = hmm.decode({{0.9, 0.1}, {0.9, 0.1}, {0.45, 0.55}, {0.9, 0.1}, {0.9, 0.1}});
+  for (const int s : path) EXPECT_EQ(s, 0);
+}
+
+TEST(Viterbi, SustainedSwitchIsFollowed) {
+  Hmm hmm;
+  const auto path = hmm.decode({{0.9, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.1, 0.9}, {0.1, 0.9}});
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 0);
+  EXPECT_EQ(path[2], 1);
+  EXPECT_EQ(path[4], 1);
+}
+
+TEST(Viterbi, HardConstraintsAreRespected) {
+  // Transition 1→0 forbidden: once in state 1 the path must stay.
+  const auto path = viterbi_decode(
+      2, 4, [](int) { return std::log(0.5); },
+      [](int, int f, int t) {
+        if (f == 1 && t == 0) return kNegInf;
+        return std::log(0.5);
+      },
+      [](int t, int s) {
+        // Evidence prefers state 1 at t=1, state 0 afterwards.
+        if (t == 1) return s == 1 ? std::log(0.9) : std::log(0.1);
+        return s == 0 ? std::log(0.6) : std::log(0.4);
+      });
+  // Entering state 1 at t=1 would trap the path there and lose the later
+  // state-0 evidence; the decoder weighs that globally.
+  ASSERT_EQ(path.size(), 4u);
+  for (std::size_t t = 1; t < path.size(); ++t) {
+    if (path[t - 1] == 1) EXPECT_EQ(path[t], 1);
+  }
+}
+
+TEST(Viterbi, RecoversFromAllStatesBlocked) {
+  // Emission at t=1 is impossible in every state; decode restarts there and
+  // still returns a full-length path.
+  const auto path = viterbi_decode(
+      2, 3, [](int) { return std::log(0.5); },
+      [](int, int, int) { return kNegInf; },  // all transitions forbidden
+      [](int, int s) { return s == 0 ? std::log(0.8) : std::log(0.2); });
+  ASSERT_EQ(path.size(), 3u);
+  for (const int s : path) EXPECT_EQ(s, 0);
+}
+
+TEST(Viterbi, MatchesBruteForceOnSmallProblem) {
+  // 3 states, 4 steps: compare against exhaustive enumeration.
+  const int S = 3, T = 4;
+  const double trans[3][3] = {{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.1, 0.2, 0.7}};
+  const double prior[3] = {0.5, 0.3, 0.2};
+  const double emis[4][3] = {
+      {0.2, 0.5, 0.3}, {0.6, 0.2, 0.2}, {0.1, 0.1, 0.8}, {0.3, 0.3, 0.4}};
+
+  const auto path = viterbi_decode(
+      S, T, [&](int s) { return std::log(prior[s]); },
+      [&](int, int f, int t) { return std::log(trans[f][t]); },
+      [&](int t, int s) { return std::log(emis[t][s]); });
+
+  double best = -1.0;
+  std::vector<int> best_path;
+  for (int a = 0; a < S; ++a) {
+    for (int b = 0; b < S; ++b) {
+      for (int c = 0; c < S; ++c) {
+        for (int d = 0; d < S; ++d) {
+          const double p = prior[a] * emis[0][a] * trans[a][b] * emis[1][b] * trans[b][c] *
+                           emis[2][c] * trans[c][d] * emis[3][d];
+          if (p > best) {
+            best = p;
+            best_path = {a, b, c, d};
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(path, best_path);
+}
+
+}  // namespace
+}  // namespace slj::bayes
