@@ -7,12 +7,17 @@
 //
 // Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
 // manifest.txt) — real footage can be dropped in the same layout.
+//
+// analyze and evaluate run the vision pass on the ClipEngine worker pool
+// (--workers N, default: hardware concurrency; --tracker 1 selects the
+// jumper blob with the BlobTracker instead of largest-component).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "core/clip_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/scoring.hpp"
 #include "core/trainer.hpp"
@@ -71,6 +76,26 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+core::ClipEngineConfig engine_config(const std::map<std::string, std::string>& flags) {
+  core::ClipEngineConfig config;
+  if (const auto it = flags.find("workers"); it != flags.end()) {
+    long workers = -1;
+    try {
+      workers = std::stol(it->second);
+    } catch (const std::exception&) {
+    }
+    if (workers < 0 || workers > 1024) {
+      throw std::runtime_error("--workers must be an integer in [0, 1024], got '" + it->second +
+                               "'");
+    }
+    config.workers = static_cast<unsigned>(workers);
+  }
+  if (const auto it = flags.find("tracker"); it != flags.end()) {
+    config.use_tracker = it->second != "0" && it->second != "false";
+  }
+  return config;
+}
+
 pose::PoseDbnClassifier load_model(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read " + path);
@@ -83,22 +108,17 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   double ppm = 72.0;
   if (const auto it = flags.find("ppm"); it != flags.end()) ppm = std::stod(it->second);
 
-  core::FramePipeline pipeline;
-  pipeline.set_background(clip.background);
-  core::GroundMonitor ground;
-  std::vector<core::FrameObservation> observations;
-  std::vector<bool> airborne;
-  std::vector<pose::FrameResult> poses;
-  auto state = classifier.initial_state();
-  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
-    observations.push_back(pipeline.process(clip.frames[i]));
-    airborne.push_back(ground.airborne(observations.back().bottom_row));
-    poses.push_back(classifier.classify(observations.back().candidates, airborne.back(), state));
+  core::ClipEngine engine({}, engine_config(flags));
+  const core::ClipObservation observation = engine.process(clip);
+  const std::vector<pose::FrameResult> poses =
+      classifier.classify_sequence(observation.candidate_sets(), observation.airborne);
+  for (std::size_t i = 0; i < poses.size(); ++i) {
     std::printf("frame %3zu  [%-14s]  %s\n", i,
-                std::string(pose::stage_name(poses.back().stage)).c_str(),
-                std::string(pose::pose_name(poses.back().pose)).c_str());
+                std::string(pose::stage_name(poses[i].stage)).c_str(),
+                std::string(pose::pose_name(poses[i].pose)).c_str());
   }
-  const core::JumpScore score = core::score_jump(observations, airborne, poses, ppm);
+  const core::JumpScore score =
+      core::score_jump(observation.frames, observation.airborne, poses, ppm);
   std::printf("\n%s", score.form.to_string().c_str());
   if (score.measurement.valid()) {
     std::printf("measured distance: %.2f m\n", score.measurement.distance_m);
@@ -110,9 +130,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
   const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
-  core::FramePipeline pipeline;
-  const core::DatasetEvaluation eval =
-      core::evaluate_dataset(classifier, pipeline, dataset.test);
+  core::ClipEngine engine({}, engine_config(flags));
+  const core::DatasetEvaluation eval = core::evaluate_dataset(classifier, engine, dataset.test);
   for (std::size_t i = 0; i < eval.clips.size(); ++i) {
     std::printf("clip %zu: %.1f%% pose accuracy (%zu/%zu)\n", i + 1,
                 100.0 * eval.clips[i].accuracy(), eval.clips[i].correct,
@@ -127,7 +146,8 @@ int usage() {
               "  sljtool generate --out DIR [--seed N]\n"
               "  sljtool train    --data DIR --model FILE\n"
               "  sljtool analyze  --model FILE --clip DIR [--ppm PIXELS_PER_METER]\n"
-              "  sljtool evaluate --model FILE --data DIR\n");
+              "                   [--workers N] [--tracker 0|1]\n"
+              "  sljtool evaluate --model FILE --data DIR [--workers N] [--tracker 0|1]\n");
   return 2;
 }
 

@@ -1,0 +1,186 @@
+#include "core/clip_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slj::core {
+
+// ---- WorkerPool ------------------------------------------------------------
+
+WorkerPool::WorkerPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every batch, so it counts as one lane.
+  const unsigned extra = workers > 1 ? workers - 1 : 0;
+  threads_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run_tasks(const std::function<void(std::size_t)>& fn, std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    run_tasks(*fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = threads_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  run_tasks(fn, count);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// ---- ClipEngine ------------------------------------------------------------
+
+std::vector<std::vector<pose::FeatureCandidate>> ClipObservation::candidate_sets() const {
+  std::vector<std::vector<pose::FeatureCandidate>> sets;
+  sets.reserve(frames.size());
+  for (const FrameObservation& obs : frames) sets.push_back(obs.candidates);
+  return sets;
+}
+
+ClipEngine::ClipEngine(PipelineParams params, ClipEngineConfig config)
+    : params_(params), config_(config), pool_(config.workers) {}
+
+ClipObservation ClipEngine::aggregate(std::vector<FrameObservation> frames) const {
+  ClipObservation clip;
+  clip.frames = std::move(frames);
+  clip.airborne.reserve(clip.frames.size());
+  GroundMonitor ground(config_.lift_threshold_px);
+  for (const FrameObservation& obs : clip.frames) {
+    const bool flying = ground.airborne(obs.bottom_row);
+    clip.airborne.push_back(flying);
+    if (flying) ++clip.airborne_frames;
+    if (obs.bottom_row < 0) ++clip.empty_frames;
+  }
+  clip.ground_row = ground.ground_row();
+  return clip;
+}
+
+ClipObservation ClipEngine::process_serial_tracked(const RgbImage& background,
+                                                   const std::vector<RgbImage>& frames) const {
+  FramePipeline pipeline(params_);
+  pipeline.set_background(background);
+  detect::BlobTracker tracker(config_.tracker);
+  std::vector<FrameObservation> observations;
+  observations.reserve(frames.size());
+  for (const RgbImage& frame : frames) {
+    observations.push_back(pipeline.process(frame, tracker));
+  }
+  return aggregate(std::move(observations));
+}
+
+ClipObservation ClipEngine::process(const RgbImage& background,
+                                    const std::vector<RgbImage>& frames) {
+  if (config_.use_tracker) {
+    return process_serial_tracked(background, frames);
+  }
+  FramePipeline pipeline(params_);
+  pipeline.set_background(background);
+  std::vector<FrameObservation> observations(frames.size());
+  pool_.parallel_for(frames.size(), [&](std::size_t i) {
+    observations[i] = pipeline.process(frames[i]);
+  });
+  return aggregate(std::move(observations));
+}
+
+ClipObservation ClipEngine::process(const synth::Clip& clip) {
+  return process(clip.background, clip.frames);
+}
+
+std::vector<ClipObservation> ClipEngine::process(const std::vector<synth::Clip>& clips) {
+  std::vector<ClipObservation> results(clips.size());
+  if (config_.use_tracker) {
+    // Tracking is stateful in frame order: one sequential task per clip.
+    pool_.parallel_for(clips.size(), [&](std::size_t c) {
+      results[c] = process_serial_tracked(clips[c].background, clips[c].frames);
+    });
+    return results;
+  }
+
+  // Flatten the frame index space of all clips so lanes never idle at clip
+  // boundaries (the last frames of clip k overlap the first of clip k+1).
+  std::vector<FramePipeline> pipelines;
+  pipelines.reserve(clips.size());
+  std::vector<std::size_t> offsets(clips.size() + 1, 0);
+  for (std::size_t c = 0; c < clips.size(); ++c) {
+    pipelines.emplace_back(params_);
+    pipelines.back().set_background(clips[c].background);
+    offsets[c + 1] = offsets[c] + clips[c].frames.size();
+  }
+  std::vector<std::vector<FrameObservation>> observations(clips.size());
+  for (std::size_t c = 0; c < clips.size(); ++c) {
+    observations[c].resize(clips[c].frames.size());
+  }
+  pool_.parallel_for(offsets.back(), [&](std::size_t flat) {
+    const auto it = std::upper_bound(offsets.begin(), offsets.end(), flat);
+    const std::size_t c = static_cast<std::size_t>(it - offsets.begin()) - 1;
+    const std::size_t f = flat - offsets[c];
+    observations[c][f] = pipelines[c].process(clips[c].frames[f]);
+  });
+  for (std::size_t c = 0; c < clips.size(); ++c) {
+    results[c] = aggregate(std::move(observations[c]));
+  }
+  return results;
+}
+
+}  // namespace slj::core

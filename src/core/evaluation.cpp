@@ -4,6 +4,25 @@
 
 namespace slj::core {
 
+namespace {
+
+/// Classifies one already-processed frame and folds it into the tally.
+void score_frame(ClipEvaluation& eval, const pose::PoseDbnClassifier& classifier,
+                 const FrameObservation& obs, bool airborne, pose::PoseId truth_pose,
+                 pose::Stage truth_stage, pose::PoseDbnClassifier::SequenceState& state) {
+  const pose::FrameResult res = classifier.classify(obs.candidates, airborne, state);
+  ++eval.frames;
+  if (res.pose == truth_pose) ++eval.correct;
+  if (res.pose == pose::PoseId::kUnknown) ++eval.unknown;
+  if (res.pose != pose::PoseId::kUnknown && pose::stage_of(res.pose) == truth_stage) {
+    ++eval.correct_stage;
+  }
+  eval.results.push_back(res);
+  eval.truth.push_back(truth_pose);
+}
+
+}  // namespace
+
 ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
                              const synth::Clip& clip) {
   ClipEvaluation eval;
@@ -13,16 +32,19 @@ ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier, FramePip
   for (std::size_t i = 0; i < clip.frames.size(); ++i) {
     const FrameObservation obs = pipeline.process(clip.frames[i]);
     const bool airborne = ground.airborne(obs.bottom_row);
-    const pose::FrameResult res = classifier.classify(obs.candidates, airborne, state);
-    const pose::PoseId truth = clip.truth[i].pose;
-    ++eval.frames;
-    if (res.pose == truth) ++eval.correct;
-    if (res.pose == pose::PoseId::kUnknown) ++eval.unknown;
-    if (res.pose != pose::PoseId::kUnknown && pose::stage_of(res.pose) == clip.truth[i].stage) {
-      ++eval.correct_stage;
-    }
-    eval.results.push_back(res);
-    eval.truth.push_back(truth);
+    score_frame(eval, classifier, obs, airborne, clip.truth[i].pose, clip.truth[i].stage,
+                state);
+  }
+  return eval;
+}
+
+ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier,
+                             const ClipObservation& observation, const synth::Clip& clip) {
+  ClipEvaluation eval;
+  pose::PoseDbnClassifier::SequenceState state = classifier.initial_state();
+  for (std::size_t i = 0; i < observation.frames.size(); ++i) {
+    score_frame(eval, classifier, observation.frames[i], observation.airborne[i],
+                clip.truth[i].pose, clip.truth[i].stage, state);
   }
   return eval;
 }
@@ -62,6 +84,20 @@ DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier,
   DatasetEvaluation eval;
   for (const synth::Clip& clip : clips) {
     eval.clips.push_back(evaluate_clip(classifier, pipeline, clip));
+  }
+  return eval;
+}
+
+DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier, ClipEngine& engine,
+                                   const std::vector<synth::Clip>& clips) {
+  DatasetEvaluation eval;
+  eval.clips.reserve(clips.size());
+  // Clip by clip (frames of each clip still run on the pool): the full
+  // FrameObservations of one clip are dropped before the next is processed,
+  // so peak memory is one clip's worth rather than the whole dataset's.
+  for (std::size_t c = 0; c < clips.size(); ++c) {
+    const ClipObservation observation = engine.process(clips[c]);
+    eval.clips.push_back(evaluate_clip(classifier, observation, clips[c]));
   }
   return eval;
 }

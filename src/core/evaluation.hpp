@@ -6,6 +6,7 @@
 #include <array>
 #include <vector>
 
+#include "core/clip_engine.hpp"
 #include "core/pipeline.hpp"
 #include "pose/classifier.hpp"
 #include "synth/dataset.hpp"
@@ -32,6 +33,11 @@ struct ClipEvaluation {
 ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier, FramePipeline& pipeline,
                              const synth::Clip& clip);
 
+/// Same scoring from an already-processed clip (ClipEngine output), so the
+/// expensive vision pass can run on the worker pool.
+ClipEvaluation evaluate_clip(const pose::PoseDbnClassifier& classifier,
+                             const ClipObservation& observation, const synth::Clip& clip);
+
 struct DatasetEvaluation {
   std::vector<ClipEvaluation> clips;
 
@@ -44,6 +50,12 @@ struct DatasetEvaluation {
 
 DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier,
                                    FramePipeline& pipeline,
+                                   const std::vector<synth::Clip>& clips);
+
+/// Parallel variant: each clip's vision pass runs on the engine's worker
+/// pool (one clip in memory at a time); classification then replays in
+/// frame order, so the result equals the serial evaluate_dataset.
+DatasetEvaluation evaluate_dataset(const pose::PoseDbnClassifier& classifier, ClipEngine& engine,
                                    const std::vector<synth::Clip>& clips);
 
 /// Lengths of maximal runs of consecutive misclassified frames, pooled over

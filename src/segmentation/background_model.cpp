@@ -24,7 +24,7 @@ void BackgroundModel::accumulate(const RgbImage& frame) {
     sum_b_.data()[i] += frame.data()[i].b;
   }
   ++frame_count_;
-  mean_dirty_ = true;
+  rebuild_mean();
 }
 
 void BackgroundModel::set_background(const RgbImage& frame) {
@@ -32,12 +32,9 @@ void BackgroundModel::set_background(const RgbImage& frame) {
   accumulate(frame);
 }
 
-void BackgroundModel::reset() {
-  frame_count_ = 0;
-  mean_dirty_ = true;
-}
+void BackgroundModel::reset() { frame_count_ = 0; }
 
-void BackgroundModel::rebuild_mean() const {
+void BackgroundModel::rebuild_mean() {
   // Average the accumulated frames, then apply the paper's n×n moving
   // window. Quantisation to uint8 first keeps this identical to feeding a
   // single averaged frame through window_mean_rgb.
@@ -49,12 +46,10 @@ void BackgroundModel::rebuild_mean() const {
                      static_cast<std::uint8_t>(sum_b_.data()[i] * inv + 0.5)};
   }
   mean_ = window_mean_rgb(avg, window_);
-  mean_dirty_ = false;
 }
 
 const RgbMeans& BackgroundModel::averaged() const {
   if (frame_count_ == 0) throw std::logic_error("background model has no frames");
-  if (mean_dirty_) rebuild_mean();
   return mean_;
 }
 

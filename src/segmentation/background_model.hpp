@@ -29,6 +29,8 @@ class BackgroundModel {
   int height() const { return sum_r_.height(); }
 
   /// The paper's Bave: per-channel moving-window mean of the background.
+  /// Rebuilt eagerly by accumulate(), so concurrent const reads (parallel
+  /// frame extraction against one installed background) are safe.
   const RgbMeans& averaged() const;
 
  private:
@@ -36,10 +38,9 @@ class BackgroundModel {
   int frame_count_ = 0;
   // Running per-pixel mean of raw background frames (before windowing).
   Image<double> sum_r_, sum_g_, sum_b_;
-  mutable RgbMeans mean_;
-  mutable bool mean_dirty_ = true;
+  RgbMeans mean_;
 
-  void rebuild_mean() const;
+  void rebuild_mean();
 };
 
 }  // namespace slj::seg

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace slj::core {
+namespace {
+
+TEST(GroundMonitor, UncalibratedEmptyFramesStayGrounded) {
+  GroundMonitor monitor(3);
+  // Empty frames before any silhouette: no ground line yet (bottom_row = -1
+  // from the pipeline), so the jumper cannot be airborne.
+  EXPECT_FALSE(monitor.airborne(-1));
+  EXPECT_FALSE(monitor.airborne(-1));
+  EXPECT_EQ(monitor.ground_row(), -1);
+  // The first visible frame calibrates.
+  EXPECT_FALSE(monitor.airborne(120));
+  EXPECT_EQ(monitor.ground_row(), 120);
+}
+
+TEST(GroundMonitor, ThresholdBoundaryIsExclusive) {
+  GroundMonitor monitor(3);
+  monitor.airborne(100);  // calibrate: ground_row = 100
+  // bottom_row == ground_row - threshold is *not* airborne (strict <).
+  EXPECT_FALSE(monitor.airborne(97));
+  EXPECT_TRUE(monitor.airborne(96));
+  // One pixel back down across the boundary lands again.
+  EXPECT_FALSE(monitor.airborne(97));
+}
+
+TEST(GroundMonitor, ZeroThresholdLiftsOnAnyRise) {
+  GroundMonitor monitor(0);
+  monitor.airborne(50);
+  EXPECT_FALSE(monitor.airborne(50));
+  EXPECT_TRUE(monitor.airborne(49));
+}
+
+TEST(GroundMonitor, ResetForgetsCalibrationAndFlight) {
+  GroundMonitor monitor(3);
+  monitor.airborne(100);
+  EXPECT_TRUE(monitor.airborne(80));
+  monitor.reset();
+  EXPECT_EQ(monitor.ground_row(), -1);
+  // After reset an empty frame is grounded again (no stale airborne carry).
+  EXPECT_FALSE(monitor.airborne(-1));
+  // And the next visible frame recalibrates — even at a new ground level.
+  EXPECT_FALSE(monitor.airborne(60));
+  EXPECT_EQ(monitor.ground_row(), 60);
+  EXPECT_TRUE(monitor.airborne(50));
+}
+
+TEST(GroundMonitor, EmptyFrameCarriesLastFlagOnlyWhileCalibrated) {
+  GroundMonitor monitor(3);
+  monitor.airborne(100);
+  EXPECT_TRUE(monitor.airborne(90));
+  // Mid-flight dropout (segmentation lost the jumper): stay airborne.
+  EXPECT_TRUE(monitor.airborne(-1));
+  EXPECT_TRUE(monitor.airborne(-1));
+  // Reappears on the ground: flag clears, and a later dropout stays grounded.
+  EXPECT_FALSE(monitor.airborne(100));
+  EXPECT_FALSE(monitor.airborne(-1));
+}
+
+TEST(GroundMonitor, DescendingBelowGroundLineNeverAirborne) {
+  GroundMonitor monitor(3);
+  monitor.airborne(100);
+  // Rows *below* the calibrated line (larger y) are grounded, not flight.
+  EXPECT_FALSE(monitor.airborne(110));
+  EXPECT_FALSE(monitor.airborne(200));
+}
+
+}  // namespace
+}  // namespace slj::core
