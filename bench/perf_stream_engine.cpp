@@ -1,0 +1,104 @@
+// P4 — StreamEngine latency: per-frame latency (p50/p99) of live
+// frame-at-a-time analysis at increasing concurrent session counts —
+// simulated camera feeds multiplexed over one worker pool — against the
+// ClipEngine batch path's throughput on the same workload. The live path
+// is the one a courtside coach cares about: how long after a frame arrives
+// is its pose decision (and any newly resolved advice) available?
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/stream_engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double idx = q * static_cast<double>(samples.size() - 1);
+  return samples[static_cast<std::size_t>(idx + 0.5)];
+}
+
+}  // namespace
+
+int main() {
+  using namespace slj;
+  bench::print_header("P4  StreamEngine per-frame latency vs ClipEngine batch",
+                      "live coaching: advice while the jumper is still in the air");
+
+  const synth::Dataset dataset = bench::paper_corpus();
+  const std::vector<synth::Clip>& clips = dataset.test;
+  const pose::PoseDbnClassifier classifier;  // untrained: same per-frame cost
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t clip_frames = 0;
+  for (const auto& clip : clips) clip_frames = std::max(clip_frames, clip.frames.size());
+  std::printf("corpus: %zu clips (longest %zu frames); hardware concurrency: %u\n\n",
+              clips.size(), clip_frames, hw);
+
+  // Live path: every session replays one of the test clips (cycled); each
+  // tick advances all sessions by one frame in parallel, and the tick's
+  // wall time is the latency a frame experiences before its decision (and
+  // any resolved advice) is out.
+  double stream_frames_per_s = 0.0;
+  for (const std::size_t sessions : {std::size_t{1}, std::size_t{8}, std::size_t{16}}) {
+    core::StreamManagerConfig config;
+    config.workers = hw;
+    core::StreamManager manager(classifier, {}, config);
+    std::vector<int> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      ids.push_back(manager.open_session(clips[s % clips.size()].background));
+    }
+    std::vector<double> tick_ms;
+    std::size_t frames = 0;
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < clip_frames; ++t) {
+      std::vector<core::StreamManager::Feed> feeds;
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const synth::Clip& clip = clips[s % clips.size()];
+        if (t < clip.frames.size()) feeds.push_back({ids[s], &clip.frames[t]});
+      }
+      if (feeds.empty()) break;
+      const auto tick_start = Clock::now();
+      manager.tick(feeds);
+      tick_ms.push_back(ms_since(tick_start));
+      frames += feeds.size();
+    }
+    const double total_ms = ms_since(start);
+    for (const int id : ids) manager.close_session(id);
+    stream_frames_per_s = 1000.0 * static_cast<double>(frames) / total_ms;
+    std::printf(
+        "stream, %2zu sessions   per-frame latency p50 %7.2f ms   p99 %7.2f ms   %7.1f frames/s\n",
+        sessions, percentile(tick_ms, 0.50), percentile(tick_ms, 0.99), stream_frames_per_s);
+  }
+  bench::print_rule();
+
+  // Batch path on the same workload (16 feeds' worth of clips), for the
+  // throughput the live path gives up in exchange for latency.
+  {
+    std::vector<synth::Clip> batch_clips;
+    std::size_t frames = 0;
+    for (std::size_t s = 0; s < 16; ++s) {
+      batch_clips.push_back(clips[s % clips.size()]);
+      frames += batch_clips.back().frames.size();
+    }
+    core::ClipEngineConfig config;
+    config.workers = hw;
+    core::ClipEngine engine({}, config);
+    const auto start = Clock::now();
+    const std::vector<core::ClipObservation> results = engine.process(batch_clips);
+    const double ms = ms_since(start);
+    (void)results;
+    const double batch_frames_per_s = 1000.0 * static_cast<double>(frames) / ms;
+    std::printf("ClipEngine batch, 16 clips     %8.1f ms   %7.1f frames/s   (stream at %.0f%%)\n",
+                ms, batch_frames_per_s, 100.0 * stream_frames_per_s / batch_frames_per_s);
+  }
+  return 0;
+}

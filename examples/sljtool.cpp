@@ -4,23 +4,31 @@
 //   sljtool train    --data DIR --model FILE     train the pose DBN
 //   sljtool analyze  --model FILE --clip DIR     poses + coaching + score
 //   sljtool evaluate --model FILE --data DIR     per-clip accuracy
+//   sljtool stream   --model FILE --clip DIR     replay the clip as live feeds
 //
 // Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
 // manifest.txt) — real footage can be dropped in the same layout.
 //
 // analyze and evaluate run the vision pass on the ClipEngine worker pool
 // (--workers N, default: hardware concurrency; --tracker 1 selects the
-// jumper blob with the BlobTracker instead of largest-component).
+// jumper blob with the BlobTracker instead of largest-component). stream
+// pushes the clip one frame at a time through StreamManager sessions —
+// simulated concurrent cameras — printing advice the moment a
+// movement-standard rule resolves, and verifies the live results against
+// the batch decoder.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/clip_engine.hpp"
 #include "core/evaluation.hpp"
 #include "core/scoring.hpp"
+#include "core/stream_engine.hpp"
 #include "core/trainer.hpp"
+#include "pose/decoders.hpp"
 #include "synth/clip_io.hpp"
 
 namespace {
@@ -127,6 +135,87 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_stream(const std::map<std::string, std::string>& flags) {
+  const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
+  const synth::Clip clip = synth::load_clip(require(flags, "clip"));
+
+  long sessions = 1;
+  if (const auto it = flags.find("sessions"); it != flags.end()) {
+    try {
+      sessions = std::stol(it->second);
+    } catch (const std::exception&) {
+      sessions = -1;
+    }
+    if (sessions < 1 || sessions > 1024) {
+      throw std::runtime_error("--sessions must be an integer in [1, 1024], got '" + it->second +
+                               "'");
+    }
+  }
+
+  core::StreamManagerConfig config;
+  config.workers = engine_config(flags).workers;
+  config.session.use_tracker = engine_config(flags).use_tracker;
+  if (const auto it = flags.find("decoder"); it != flags.end()) {
+    if (it->second == "online") {
+      config.session.decoder = core::StreamDecoder::kOnline;
+    } else if (it->second == "filtering") {
+      config.session.decoder = core::StreamDecoder::kFiltering;
+    } else {
+      throw std::runtime_error("--decoder must be 'online' or 'filtering', got '" + it->second +
+                               "'");
+    }
+  }
+
+  core::StreamManager manager(classifier, {}, config);
+  std::vector<int> ids;
+  for (long s = 0; s < sessions; ++s) ids.push_back(manager.open_session(clip.background));
+  std::printf("streaming %zu frames into %ld concurrent session%s...\n\n", clip.frames.size(),
+              sessions, sessions == 1 ? "" : "s");
+
+  // Every session replays the same clip — N simulated cameras on one jump.
+  std::vector<pose::FrameResult> live;
+  std::vector<core::StreamManager::Feed> feeds(ids.size());
+  for (const RgbImage& frame : clip.frames) {
+    for (std::size_t s = 0; s < ids.size(); ++s) feeds[s] = {ids[s], &frame};
+    const std::vector<core::StreamUpdate> updates = manager.tick(feeds);
+    const core::StreamUpdate& u = updates.front();  // narrate session 0
+    live.push_back(u.result);
+    std::printf("frame %3zu %s [%-14s]  %-32s p=%.3f\n", u.frame_index,
+                u.airborne ? "air " : "gnd ", std::string(pose::stage_name(u.result.stage)).c_str(),
+                std::string(pose::pose_name(u.result.pose)).c_str(), u.result.posterior);
+    for (const core::ResolvedFault& r : u.resolved) {
+      std::printf("          >> %s: %s\n", r.finding.passed ? "PASS" : "FAIL",
+                  std::string(core::rule_name(r.finding.rule)).c_str());
+      if (!r.finding.passed) {
+        std::printf("             advice: %s\n", std::string(core::rule_advice(r.finding.rule)).c_str());
+      }
+    }
+  }
+  const core::JumpReport report = manager.close_session(ids.front());
+  for (std::size_t s = 1; s < ids.size(); ++s) manager.close_session(ids[s]);
+  std::printf("\n%s", report.to_string().c_str());
+
+  // Live results must agree frame for frame with the batch decoder.
+  core::ClipEngineConfig batch_config = engine_config(flags);
+  core::ClipEngine engine({}, batch_config);
+  const core::ClipObservation observation = engine.process(clip);
+  const std::vector<pose::FrameResult> batch = pose::decode_sequence(
+      classifier, observation.candidate_sets(), observation.airborne,
+      config.session.decoder == core::StreamDecoder::kFiltering ? pose::SequenceDecoder::kFiltering
+                                                                : pose::SequenceDecoder::kOnline);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (live[i].pose != batch[i].pose || live[i].stage != batch[i].stage ||
+        live[i].posterior != batch[i].posterior) {
+      ++mismatches;
+    }
+  }
+  std::printf("verify vs batch decoder: %s\n",
+              mismatches == 0 ? "identical on every frame"
+                              : (std::to_string(mismatches) + " mismatching frames").c_str());
+  return mismatches == 0 ? 0 : 1;
+}
+
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
   const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
@@ -147,7 +236,9 @@ int usage() {
               "  sljtool train    --data DIR --model FILE\n"
               "  sljtool analyze  --model FILE --clip DIR [--ppm PIXELS_PER_METER]\n"
               "                   [--workers N] [--tracker 0|1]\n"
-              "  sljtool evaluate --model FILE --data DIR [--workers N] [--tracker 0|1]\n");
+              "  sljtool evaluate --model FILE --data DIR [--workers N] [--tracker 0|1]\n"
+              "  sljtool stream   --model FILE --clip DIR [--sessions N] [--workers N]\n"
+              "                   [--decoder online|filtering] [--tracker 0|1]\n");
   return 2;
 }
 
@@ -162,6 +253,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "evaluate") return cmd_evaluate(flags);
+    if (cmd == "stream") return cmd_stream(flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

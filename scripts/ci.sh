@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir]   (default: build)
+# Usage: scripts/ci.sh [build-dir] [--sanitize]
+#   --sanitize   Debug build with ASan+UBSan (keeps the streaming/worker-pool
+#                concurrency sanitizer-clean).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+CMAKE_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize)
+      CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=Debug
+        "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
+      )
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"

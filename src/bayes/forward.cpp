@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace slj::bayes {
@@ -16,6 +17,22 @@ void check_distribution(std::span<const double> dist, const char* what) {
   if (std::abs(sum - 1.0) > 1e-6) {
     throw std::invalid_argument(std::string(what) + " does not sum to 1");
   }
+}
+
+/// exp(x - max finite x) per state; -inf maps to 0. The shift is exact
+/// under renormalization and keeps the largest term at 1, so no spread of
+/// log scores can underflow everywhere at once.
+std::vector<double> exp_max_shifted(std::span<const double> log_likelihood) {
+  double shift = -std::numeric_limits<double>::infinity();
+  for (const double l : log_likelihood) shift = std::max(shift, l);
+  std::vector<double> out(log_likelihood.size(), 0.0);
+  if (shift == -std::numeric_limits<double>::infinity()) return out;  // all impossible
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (log_likelihood[i] != -std::numeric_limits<double>::infinity()) {
+      out[i] = std::exp(log_likelihood[i] - shift);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -36,7 +53,60 @@ ForwardFilter::ForwardFilter(std::vector<std::vector<double>> transition,
   }
 }
 
+ForwardFilter::ForwardFilter(UncheckedTag, std::vector<std::vector<double>> transition,
+                             std::vector<double> prior)
+    : transition_(std::move(transition)), prior_(std::move(prior)), belief_(prior_) {}
+
+ForwardFilter ForwardFilter::from_potentials(std::vector<std::vector<double>> weights,
+                                             std::vector<double> prior) {
+  if (prior.empty()) throw std::invalid_argument("empty prior");
+  if (weights.size() != prior.size()) {
+    throw std::invalid_argument("transition row count != state count");
+  }
+  double prior_sum = 0.0;
+  for (const double p : prior) {
+    if (p < 0.0) throw std::invalid_argument("prior has negative probability");
+    prior_sum += p;
+  }
+  if (prior_sum <= 0.0) throw std::invalid_argument("prior has no mass");
+  for (double& p : prior) p /= prior_sum;
+  for (const auto& row : weights) {
+    if (row.size() != prior.size()) {
+      throw std::invalid_argument("transition row size != state count");
+    }
+    for (const double w : row) {
+      if (w < 0.0) throw std::invalid_argument("transition weight is negative");
+    }
+  }
+  return ForwardFilter(UncheckedTag{}, std::move(weights), std::move(prior));
+}
+
 void ForwardFilter::reset() { belief_ = prior_; }
+
+const std::vector<double>& ForwardFilter::apply_likelihood(std::vector<double> predicted,
+                                                           std::span<const double> likelihood) {
+  const std::size_t n = predicted.size();
+  std::vector<double> weighted(n);
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    weighted[j] = predicted[j] * likelihood[j];
+    total += weighted[j];
+  }
+  if (total > 0.0) {
+    for (double& p : weighted) p /= total;
+    belief_ = std::move(weighted);
+    return belief_;
+  }
+  // Degenerate observation: keep the prediction (renormalized without
+  // likelihood) so the filter never collapses to NaN.
+  double ft = 0.0;
+  for (const double p : predicted) ft += p;
+  if (ft > 0.0) {
+    for (double& p : predicted) p /= ft;
+    belief_ = std::move(predicted);
+  }
+  return belief_;
+}
 
 const std::vector<double>& ForwardFilter::step(std::span<const double> likelihood) {
   if (likelihood.size() != belief_.size()) {
@@ -51,29 +121,21 @@ const std::vector<double>& ForwardFilter::step(std::span<const double> likelihoo
       predicted[j] += b * transition_[i][j];
     }
   }
-  double total = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    predicted[j] *= likelihood[j];
-    total += predicted[j];
+  return apply_likelihood(std::move(predicted), likelihood);
+}
+
+const std::vector<double>& ForwardFilter::step_log(std::span<const double> log_likelihood) {
+  if (log_likelihood.size() != belief_.size()) {
+    throw std::invalid_argument("likelihood size != state count");
   }
-  if (total > 0.0) {
-    for (double& p : predicted) p /= total;
-    belief_ = std::move(predicted);
-  } else {
-    // Degenerate observation: keep the prediction (renormalized without
-    // likelihood) so the filter never collapses to NaN.
-    std::vector<double> fallback(n, 0.0);
-    double ft = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) fallback[j] += belief_[i] * transition_[i][j];
-    }
-    for (const double p : fallback) ft += p;
-    if (ft > 0.0) {
-      for (double& p : fallback) p /= ft;
-      belief_ = std::move(fallback);
-    }
+  return step(exp_max_shifted(log_likelihood));
+}
+
+const std::vector<double>& ForwardFilter::weight_log(std::span<const double> log_likelihood) {
+  if (log_likelihood.size() != belief_.size()) {
+    throw std::invalid_argument("likelihood size != state count");
   }
-  return belief_;
+  return apply_likelihood(belief_, exp_max_shifted(log_likelihood));
 }
 
 int ForwardFilter::map_state() const {

@@ -1,0 +1,104 @@
+#include "core/stream_engine.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace slj::core {
+
+// ---- StreamSession ---------------------------------------------------------
+
+StreamSession::StreamSession(const pose::PoseDbnClassifier& classifier,
+                             const RgbImage& background, PipelineParams params,
+                             StreamSessionConfig config)
+    : pipeline_(params),
+      config_(config),
+      classifier_(&classifier),
+      ground_(config.lift_threshold_px),
+      online_state_(classifier.initial_state()) {
+  pipeline_.set_background(background);
+  if (config_.use_tracker) tracker_.emplace(config_.tracker);
+  if (config_.decoder == StreamDecoder::kFiltering) forward_.emplace(classifier);
+}
+
+StreamUpdate StreamSession::push_frame(const RgbImage& frame) {
+  return push_observation(tracker_ ? pipeline_.process(frame, *tracker_)
+                                   : pipeline_.process(frame));
+}
+
+StreamUpdate StreamSession::push_observation(const FrameObservation& observation) {
+  StreamUpdate update;
+  update.frame_index = frames_++;
+  update.airborne = ground_.airborne(observation.bottom_row);
+  update.result = config_.decoder == StreamDecoder::kFiltering
+                      ? forward_->push(observation.candidates, update.airborne)
+                      : classifier_->classify(observation.candidates, update.airborne,
+                                              online_state_);
+  update.resolved = faults_.push(update.result);
+  return update;
+}
+
+JumpReport StreamSession::finish() {
+  faults_.finish();
+  return faults_.report();
+}
+
+// ---- StreamManager ---------------------------------------------------------
+
+StreamManager::StreamManager(const pose::PoseDbnClassifier& classifier, PipelineParams params,
+                             StreamManagerConfig config)
+    : classifier_(&classifier), params_(params), config_(config), pool_(config.workers) {}
+
+int StreamManager::open_session(const RgbImage& background) {
+  return open_session(background, config_.session);
+}
+
+int StreamManager::open_session(const RgbImage& background, StreamSessionConfig config) {
+  sessions_.push_back(std::make_unique<StreamSession>(*classifier_, background, params_, config));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+StreamSession& StreamManager::session_at(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= sessions_.size() ||
+      !sessions_[static_cast<std::size_t>(id)]) {
+    throw std::invalid_argument("unknown stream session id " + std::to_string(id));
+  }
+  return *sessions_[static_cast<std::size_t>(id)];
+}
+
+StreamUpdate StreamManager::push_frame(int session, const RgbImage& frame) {
+  return session_at(session).push_frame(frame);
+}
+
+std::vector<StreamUpdate> StreamManager::tick(const std::vector<Feed>& feeds) {
+  std::unordered_set<int> ids;
+  for (const Feed& feed : feeds) {
+    session_at(feed.session);  // validates the id
+    if (!feed.frame) throw std::invalid_argument("tick feed has no frame");
+    if (!ids.insert(feed.session).second) {
+      throw std::invalid_argument("session " + std::to_string(feed.session) +
+                                  " fed twice in one tick");
+    }
+  }
+  std::vector<StreamUpdate> updates(feeds.size());
+  pool_.parallel_for(feeds.size(), [&](std::size_t i) {
+    updates[i] = session_at(feeds[i].session).push_frame(*feeds[i].frame);
+  });
+  return updates;
+}
+
+JumpReport StreamManager::close_session(int session) {
+  const JumpReport report = session_at(session).finish();
+  sessions_[static_cast<std::size_t>(session)].reset();
+  return report;
+}
+
+std::size_t StreamManager::open_sessions() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) {
+    if (s) ++n;
+  }
+  return n;
+}
+
+}  // namespace slj::core

@@ -4,7 +4,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "bayes/forward.hpp"
 #include "bayes/viterbi.hpp"
 
 namespace slj::pose {
@@ -26,30 +25,120 @@ double best_emission(const PoseDbnClassifier& clf, PoseId pose,
   return best;
 }
 
+bool stage_in_bounds(Stage s, const std::pair<Stage, Stage>& bounds) {
+  return index_of(s) >= index_of(bounds.first) && index_of(s) <= index_of(bounds.second);
+}
+
+/// Per-pose log-emission for one frame: observation score + airborne-flag
+/// CPT, gated by the flag-implied stage bounds.
+std::vector<double> frame_log_emission(const PoseDbnClassifier& clf,
+                                       const std::vector<FeatureCandidate>& candidates,
+                                       bool airborne, const std::pair<Stage, Stage>& bounds) {
+  std::vector<double> emission(static_cast<std::size_t>(kPoseCount), kNegInf);
+  for (int p = 0; p < kPoseCount; ++p) {
+    const PoseId pose = static_cast<PoseId>(p);
+    if (!stage_in_bounds(stage_of(pose), bounds)) continue;
+    const double ap = clf.airborne_prob(airborne, stage_of(pose));
+    double e = ap > 0.0 ? std::log(ap) : kNegInf;
+    if (!candidates.empty()) e += best_emission(clf, pose, candidates);
+    emission[static_cast<std::size_t>(p)] = e;
+  }
+  return emission;
+}
+
 }  // namespace
+
+std::pair<Stage, Stage> StageBoundsTracker::push(bool airborne) {
+  if (flight_ended_) return {Stage::kLanding, Stage::kLanding};
+  if (airborne) {
+    in_flight_ = true;
+  } else if (in_flight_) {
+    in_flight_ = false;
+    flight_ended_ = true;
+  }
+  if (in_flight_) return {Stage::kInTheAir, Stage::kInTheAir};
+  if (flight_ended_) return {Stage::kLanding, Stage::kLanding};
+  return {Stage::kBeforeJumping, Stage::kJumping};
+}
 
 std::vector<std::pair<Stage, Stage>> stage_bounds_from_flags(const std::vector<bool>& airborne) {
   std::vector<std::pair<Stage, Stage>> bounds;
   bounds.reserve(airborne.size());
-  bool flight_seen = false;
-  bool in_flight = false;
-  for (const bool air : airborne) {
-    if (air) {
-      flight_seen = true;
-      in_flight = true;
-    } else if (in_flight) {
-      in_flight = false;
-    }
-    if (in_flight) {
-      bounds.emplace_back(Stage::kInTheAir, Stage::kInTheAir);
-    } else if (flight_seen) {
-      bounds.emplace_back(Stage::kLanding, Stage::kLanding);
-    } else {
-      bounds.emplace_back(Stage::kBeforeJumping, Stage::kJumping);
-    }
-  }
+  StageBoundsTracker tracker;
+  for (const bool air : airborne) bounds.push_back(tracker.push(air));
   return bounds;
 }
+
+// ---- OnlineForwardDecoder --------------------------------------------------
+
+namespace {
+
+/// Time-invariant transition potentials P(pose_t | pose_{t-1}, stage_t) ·
+/// P(stage_t | stage_{t-1}) with the "stages never regress" gate. The
+/// per-frame flag bounds gate states through the emission instead, so one
+/// fixed matrix serves the whole stream. Rows are potentials, not
+/// distributions — ForwardFilter::from_potentials renormalizes globally.
+std::vector<std::vector<double>> transition_potentials(const PoseDbnClassifier& clf) {
+  std::vector<std::vector<double>> weights(
+      static_cast<std::size_t>(kPoseCount),
+      std::vector<double>(static_cast<std::size_t>(kPoseCount), 0.0));
+  for (int from = 0; from < kPoseCount; ++from) {
+    const PoseId pf = static_cast<PoseId>(from);
+    const Stage sf = stage_of(pf);
+    for (int to = 0; to < kPoseCount; ++to) {
+      const PoseId pt = static_cast<PoseId>(to);
+      const Stage st = stage_of(pt);
+      if (index_of(st) < index_of(sf)) continue;  // stages never regress
+      weights[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
+          clf.transition_prob(pt, pf, st) * clf.stage_prob(st, sf);
+    }
+  }
+  return weights;
+}
+
+std::vector<double> pose_prior(const PoseDbnClassifier& clf) {
+  std::vector<double> prior(static_cast<std::size_t>(kPoseCount));
+  for (int p = 0; p < kPoseCount; ++p) {
+    prior[static_cast<std::size_t>(p)] = clf.prior_prob(static_cast<PoseId>(p));
+  }
+  return prior;
+}
+
+}  // namespace
+
+OnlineForwardDecoder::OnlineForwardDecoder(const PoseDbnClassifier& classifier)
+    : classifier_(&classifier),
+      filter_(bayes::ForwardFilter::from_potentials(transition_potentials(classifier),
+                                                    pose_prior(classifier))) {}
+
+FrameResult OnlineForwardDecoder::push(const std::vector<FeatureCandidate>& candidates,
+                                       bool airborne) {
+  const auto bounds = bounds_.push(airborne);
+  return push_emission(frame_log_emission(*classifier_, candidates, airborne, bounds));
+}
+
+FrameResult OnlineForwardDecoder::push_emission(std::span<const double> log_emission) {
+  // Frame 0 conditions the prior on evidence directly; later frames run a
+  // full predict-update step.
+  const std::vector<double>& belief =
+      frames_ == 0 ? filter_.weight_log(log_emission) : filter_.step_log(log_emission);
+  ++frames_;
+
+  FrameResult r;
+  const int map_state = filter_.map_state();
+  r.pose = r.best_pose = static_cast<PoseId>(map_state);
+  r.posterior = belief[static_cast<std::size_t>(map_state)];
+  r.stage = stage_of(r.pose);
+  return r;
+}
+
+void OnlineForwardDecoder::reset() {
+  filter_.reset();
+  bounds_.reset();
+  frames_ = 0;
+}
+
+// ---- whole-clip decoding ---------------------------------------------------
 
 std::vector<FrameResult> decode_sequence(const PoseDbnClassifier& classifier,
                                          const std::vector<std::vector<FeatureCandidate>>& clip,
@@ -65,33 +154,23 @@ std::vector<FrameResult> decode_sequence(const PoseDbnClassifier& classifier,
   std::vector<FrameResult> out(static_cast<std::size_t>(T));
   if (T == 0) return out;
 
-  const auto bounds = stage_bounds_from_flags(airborne);
-  const auto in_bounds = [&](int t, PoseId p) {
-    const Stage s = stage_of(p);
-    return index_of(s) >= index_of(bounds[static_cast<std::size_t>(t)].first) &&
-           index_of(s) <= index_of(bounds[static_cast<std::size_t>(t)].second);
-  };
-
-  // Per-frame emission per pose: observation score + airborne-flag CPT,
-  // gated by the flag-implied stage bounds.
-  std::vector<std::vector<double>> emission(
-      static_cast<std::size_t>(T), std::vector<double>(static_cast<std::size_t>(kPoseCount)));
-  for (int t = 0; t < T; ++t) {
-    for (int p = 0; p < kPoseCount; ++p) {
-      const PoseId pose = static_cast<PoseId>(p);
-      double e;
-      if (!in_bounds(t, pose)) {
-        e = kNegInf;
-      } else {
-        const double ap = classifier.airborne_prob(airborne[static_cast<std::size_t>(t)],
-                                                   stage_of(pose));
-        e = (ap > 0.0 ? std::log(ap) : kNegInf);
-        if (!clip[static_cast<std::size_t>(t)].empty()) {
-          e += best_emission(classifier, pose, clip[static_cast<std::size_t>(t)]);
-        }
-      }
-      emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)] = e;
+  if (decoder == SequenceDecoder::kFiltering) {
+    OnlineForwardDecoder online(classifier);
+    for (int t = 0; t < T; ++t) {
+      out[static_cast<std::size_t>(t)] =
+          online.push(clip[static_cast<std::size_t>(t)], airborne[static_cast<std::size_t>(t)]);
     }
+    return out;
+  }
+
+  // Viterbi: max-product over the whole clip.
+  const auto bounds = stage_bounds_from_flags(airborne);
+  std::vector<std::vector<double>> emission;
+  emission.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    emission.push_back(frame_log_emission(classifier, clip[static_cast<std::size_t>(t)],
+                                          airborne[static_cast<std::size_t>(t)],
+                                          bounds[static_cast<std::size_t>(t)]));
   }
 
   const auto log_transition = [&](int t, int from, int to) {
@@ -100,85 +179,34 @@ std::vector<FrameResult> decode_sequence(const PoseDbnClassifier& classifier,
     const Stage sf = stage_of(pf);
     const Stage st = stage_of(pt);
     if (index_of(st) < index_of(sf)) return kNegInf;  // stages never regress
-    if (!in_bounds(t, pt)) return kNegInf;
+    if (!stage_in_bounds(st, bounds[static_cast<std::size_t>(t)])) return kNegInf;
     const double trans = classifier.transition_prob(pt, pf, st);
     const double stage = classifier.stage_prob(st, sf);
     return (trans > 0.0 && stage > 0.0) ? std::log(trans) + std::log(stage) : kNegInf;
   };
 
-  if (decoder == SequenceDecoder::kViterbi) {
-    const auto path = bayes::viterbi_decode(
-        kPoseCount, T,
-        [&](int s) {
-          const double p = classifier.prior_prob(static_cast<PoseId>(s));
-          return p > 0.0 ? std::log(p) : kNegInf;
-        },
-        log_transition,
-        [&](int t, int s) {
-          return emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
-        });
-    for (int t = 0; t < T; ++t) {
-      FrameResult& r = out[static_cast<std::size_t>(t)];
-      r.pose = r.best_pose = static_cast<PoseId>(path[static_cast<std::size_t>(t)]);
-      r.stage = stage_of(r.pose);
-      r.posterior = 1.0;  // Viterbi commits to the path; no per-frame marginal
-    }
-    return out;
-  }
+  const auto path = bayes::viterbi_decode(
+      kPoseCount, T,
+      [&](int s) {
+        const double p = classifier.prior_prob(static_cast<PoseId>(s));
+        return p > 0.0 ? std::log(p) : kNegInf;
+      },
+      log_transition,
+      [&](int t, int s) {
+        return emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)];
+      });
 
-  // Filtering: forward belief over poses. The transition matrix is rebuilt
-  // per step because the flag bounds gate it; rows are renormalized.
-  std::vector<double> belief(static_cast<std::size_t>(kPoseCount));
-  for (int p = 0; p < kPoseCount; ++p) {
-    belief[static_cast<std::size_t>(p)] = classifier.prior_prob(static_cast<PoseId>(p));
-  }
+  // Per-frame confidence: the forward (filtering) marginal of the path
+  // state, reusing the emission table built above. Viterbi itself commits
+  // to one path; reporting 1.0 would make downstream fault evidence
+  // fake-certain.
+  OnlineForwardDecoder online(classifier);
   for (int t = 0; t < T; ++t) {
-    std::vector<double> next(static_cast<std::size_t>(kPoseCount), 0.0);
-    if (t == 0) {
-      next = belief;
-    } else {
-      for (int from = 0; from < kPoseCount; ++from) {
-        const double b = belief[static_cast<std::size_t>(from)];
-        if (b <= 0.0) continue;
-        for (int to = 0; to < kPoseCount; ++to) {
-          const double lt = log_transition(t, from, to);
-          if (lt != kNegInf) next[static_cast<std::size_t>(to)] += b * std::exp(lt);
-        }
-      }
-    }
-    // Weight by emission and renormalize.
-    double total = 0.0;
-    for (int p = 0; p < kPoseCount; ++p) {
-      const double e = emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
-      next[static_cast<std::size_t>(p)] *= e == kNegInf ? 0.0 : std::exp(e);
-      total += next[static_cast<std::size_t>(p)];
-    }
-    if (total <= 0.0) {
-      // Contradictory evidence: restart from the emission alone.
-      total = 0.0;
-      for (int p = 0; p < kPoseCount; ++p) {
-        const double e = emission[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)];
-        next[static_cast<std::size_t>(p)] = e == kNegInf ? 0.0 : std::exp(e);
-        total += next[static_cast<std::size_t>(p)];
-      }
-    }
-    if (total > 0.0) {
-      for (double& v : next) v /= total;
-    } else {
-      for (double& v : next) v = 1.0 / kPoseCount;
-    }
-    belief = std::move(next);
-
-    int map_state = 0;
-    for (int p = 1; p < kPoseCount; ++p) {
-      if (belief[static_cast<std::size_t>(p)] > belief[static_cast<std::size_t>(map_state)]) {
-        map_state = p;
-      }
-    }
+    online.push_emission(emission[static_cast<std::size_t>(t)]);
     FrameResult& r = out[static_cast<std::size_t>(t)];
-    r.pose = r.best_pose = static_cast<PoseId>(map_state);
-    r.posterior = belief[static_cast<std::size_t>(map_state)];
+    r.pose = r.best_pose = static_cast<PoseId>(path[static_cast<std::size_t>(t)]);
     r.stage = stage_of(r.pose);
+    r.posterior = online.belief()[static_cast<std::size_t>(path[static_cast<std::size_t>(t)])];
   }
   return out;
 }

@@ -1,18 +1,26 @@
-// Whole-clip sequence decoders — extensions over the paper's frame-by-frame
+// Sequence decoders — extensions over the paper's frame-by-frame
 // point-estimate rule (Sec. 6 asks for "refinement on the DBN"):
 //
 //  * filtering — full forward belief over poses instead of a committed
-//    point estimate; the frame's answer is the MAP of the belief.
+//    point estimate; the frame's answer is the MAP of the belief. The
+//    forward recursion is online (OnlineForwardDecoder below), so the same
+//    code serves whole-clip decoding and live frame-at-a-time streams.
 //  * Viterbi  — offline max-product decoding of the whole clip, which can
 //    revise early frames in the light of later evidence (the cure for the
 //    paper's "a misclassified frame will still affect subsequent frames").
+//    Per-frame confidence is the forward (filtering) marginal of the path
+//    state, not a hard-coded certainty.
 //
-// Both share the classifier's learned CPTs and the measured jumping-stage
-// flag discipline (stages never regress; air/landing gated by the flag).
+// All modes share the classifier's learned CPTs and the measured
+// jumping-stage flag discipline (stages never regress; air/landing gated by
+// the flag, and once flight has ended the stage is clamped to landing so a
+// spurious late airborne flag cannot reopen it).
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "bayes/forward.hpp"
 #include "pose/classifier.hpp"
 
 namespace slj::pose {
@@ -23,10 +31,63 @@ enum class SequenceDecoder {
   kViterbi,    ///< offline max-product over the whole clip
 };
 
-/// Per-frame stage bounds implied by the measured airborne flags: before
-/// flight the stage is at most "jumping"; during flight exactly "in the
-/// air"; after flight exactly "landing".
+/// Incremental form of the flag-implied stage bounds: feed airborne flags
+/// one frame at a time. Before flight the stage is at most "jumping";
+/// during flight exactly "in the air"; once flight has ended, exactly
+/// "landing" — permanently. A spurious airborne flag after landing (bounce,
+/// segmentation noise) must not reopen "in the air": with the monotone
+/// stage discipline that would make every state unreachable.
+class StageBoundsTracker {
+ public:
+  /// Consumes the next frame's measured flag; returns its stage bounds.
+  std::pair<Stage, Stage> push(bool airborne);
+
+  void reset() { *this = StageBoundsTracker(); }
+
+ private:
+  bool in_flight_ = false;
+  bool flight_ended_ = false;
+};
+
+/// Per-frame stage bounds for a whole flag sequence (StageBoundsTracker
+/// replayed over it).
 std::vector<std::pair<Stage, Stage>> stage_bounds_from_flags(const std::vector<bool>& airborne);
+
+/// Streaming forward (filtering) decoder over the pose chain, built on
+/// bayes::ForwardFilter: one push per frame updates the belief in O(poses²)
+/// with O(poses) state — no re-decoding of the clip. Log-emissions go
+/// through the filter's max-log shift, so long cluttered clips (heavily
+/// negative emission scores) cannot underflow the belief to uniform.
+/// decode_sequence(kFiltering) is exactly this decoder replayed over the
+/// clip, so live streams and batch decoding agree frame for frame.
+class OnlineForwardDecoder {
+ public:
+  explicit OnlineForwardDecoder(const PoseDbnClassifier& classifier);
+
+  /// Consumes one frame (candidate labellings + measured flag) and returns
+  /// the MAP pose of the updated belief, with its marginal as posterior.
+  FrameResult push(const std::vector<FeatureCandidate>& candidates, bool airborne);
+
+  /// Same update from a precomputed per-pose log-emission row (size
+  /// kPoseCount, -inf = impossible; the caller owns the stage-bounds
+  /// gating). Lets whole-clip decoders reuse an emission table they
+  /// already built instead of recomputing it.
+  FrameResult push_emission(std::span<const double> log_emission);
+
+  /// Belief over poses after the last push (prior before any push).
+  const std::vector<double>& belief() const { return filter_.belief(); }
+
+  std::size_t frames_seen() const { return frames_; }
+
+  /// Back to the prior / first-frame state.
+  void reset();
+
+ private:
+  const PoseDbnClassifier* classifier_;
+  bayes::ForwardFilter filter_;
+  StageBoundsTracker bounds_;
+  std::size_t frames_ = 0;
+};
 
 /// Decodes a whole clip with the chosen decoder. `candidates[t]` are frame
 /// t's body-part labellings, `airborne[t]` the measured flag.

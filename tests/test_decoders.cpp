@@ -86,6 +86,29 @@ TEST(StageBounds, NoFlightMeansPreparationOnly) {
   }
 }
 
+// Regression: a spurious airborne flag after landing (bounce, segmentation
+// noise) used to reopen kInTheAir; combined with the monotone stage
+// discipline that made every state unreachable.
+TEST(StageBounds, SpuriousAirborneAfterLandingStaysLanding) {
+  const auto bounds = stage_bounds_from_flags({false, true, true, false, true, false, true});
+  ASSERT_EQ(bounds.size(), 7u);
+  for (std::size_t t = 3; t < bounds.size(); ++t) {
+    EXPECT_EQ(bounds[t].first, Stage::kLanding) << "frame " << t;
+    EXPECT_EQ(bounds[t].second, Stage::kLanding) << "frame " << t;
+  }
+}
+
+TEST(StageBounds, TrackerMatchesBatchHelper) {
+  const std::vector<bool> flags = {false, true, false, true, true, false, false, true};
+  const auto batch = stage_bounds_from_flags(flags);
+  StageBoundsTracker tracker;
+  for (std::size_t t = 0; t < flags.size(); ++t) {
+    EXPECT_EQ(tracker.push(flags[t]), batch[t]) << "frame " << t;
+  }
+  tracker.reset();
+  EXPECT_EQ(tracker.push(false), (std::pair{Stage::kBeforeJumping, Stage::kJumping}));
+}
+
 class DecoderModes : public ::testing::TestWithParam<SequenceDecoder> {};
 
 TEST_P(DecoderModes, DecodesTheTrainedJumpPerfectly) {
@@ -170,6 +193,90 @@ TEST(Decoders, EmptyClipGivesEmptyResults) {
   const Fixture fx;
   for (const auto mode : {SequenceDecoder::kFiltering, SequenceDecoder::kViterbi}) {
     EXPECT_TRUE(decode_sequence(fx.clf, {}, {}, mode).empty());
+  }
+}
+
+// Regression: a spurious airborne flag after touchdown used to make every
+// state unreachable and trip the filtering restart hack; now those frames
+// stay in landing for both whole-clip decoders.
+TEST(Decoders, SpuriousAirborneAfterLandingKeepsLandingPoses) {
+  const Fixture fx;
+  auto flags = fx.flags();
+  flags[14] = true;  // one bad flag between two landing frames
+  for (const auto mode : {SequenceDecoder::kFiltering, SequenceDecoder::kViterbi}) {
+    const auto results = decode_sequence(fx.clf, fx.clip(), flags, mode);
+    for (std::size_t t = 13; t < results.size(); ++t) {
+      EXPECT_EQ(stage_of(results[t].pose), Stage::kLanding)
+          << "frame " << t << " decoder " << static_cast<int>(mode);
+    }
+  }
+}
+
+// Regression: the filtering decoder used to exponentiate log-emissions in
+// linear space; a heavily cluttered clip (many unexplained areas, each a
+// log(clutter_epsilon) charge) underflowed every weight to zero and
+// collapsed the belief to uniform. The clutter charge is pose-independent,
+// so the max-log shift cancels it exactly: the cluttered clip must decode
+// like the clean one, with confident posteriors.
+TEST(Decoders, HeavyClutterDoesNotUnderflowTheFilter) {
+  const Fixture fx;
+  auto cluttered = fx.clip();
+  for (auto& frame : cluttered) {
+    for (FeatureCandidate& c : frame) c.unexplained_areas = 600;  // ≈ -830 nats per frame
+  }
+  const auto clean = decode_sequence(fx.clf, fx.clip(), fx.flags(), SequenceDecoder::kFiltering);
+  const auto noisy = decode_sequence(fx.clf, cluttered, fx.flags(), SequenceDecoder::kFiltering);
+  ASSERT_EQ(noisy.size(), clean.size());
+  for (std::size_t t = 0; t < clean.size(); ++t) {
+    EXPECT_EQ(noisy[t].pose, clean[t].pose) << "frame " << t;
+    EXPECT_NEAR(noisy[t].posterior, clean[t].posterior, 1e-9) << "frame " << t;
+    // Far from the uniform 1/22 the underflow used to produce.
+    EXPECT_GT(noisy[t].posterior, 0.2) << "frame " << t;
+  }
+}
+
+// Regression: Viterbi results used to hard-code posterior = 1.0; the
+// reported confidence is now the forward-pass marginal of the path state.
+TEST(Decoders, ViterbiPosteriorIsARealMarginal) {
+  const Fixture fx;
+  const auto viterbi = decode_sequence(fx.clf, fx.clip(), fx.flags(), SequenceDecoder::kViterbi);
+  const auto filtering =
+      decode_sequence(fx.clf, fx.clip(), fx.flags(), SequenceDecoder::kFiltering);
+  for (std::size_t t = 0; t < viterbi.size(); ++t) {
+    EXPECT_GT(viterbi[t].posterior, 0.0) << "frame " << t;
+    EXPECT_LE(viterbi[t].posterior, 1.0) << "frame " << t;
+    if (viterbi[t].pose == filtering[t].pose) {
+      // Same forward pass, so the marginals must agree exactly.
+      EXPECT_DOUBLE_EQ(viterbi[t].posterior, filtering[t].posterior) << "frame " << t;
+    }
+  }
+
+  // With an untrained (flat) model the marginal spreads over every pose the
+  // bounds allow — nowhere near the fake 1.0 certainty.
+  const PoseDbnClassifier untrained;
+  const auto flat = decode_sequence(untrained, fx.clip(), fx.flags(), SequenceDecoder::kViterbi);
+  for (std::size_t t = 0; t < flat.size(); ++t) {
+    EXPECT_LT(flat[t].posterior, 0.9) << "frame " << t;
+    EXPECT_GT(flat[t].posterior, 0.0) << "frame " << t;
+  }
+}
+
+TEST(OnlineForwardDecoderTest, MatchesBatchFilteringAndResets) {
+  const Fixture fx;
+  const auto clip = fx.clip();
+  const auto flags = fx.flags();
+  const auto batch = decode_sequence(fx.clf, clip, flags, SequenceDecoder::kFiltering);
+
+  OnlineForwardDecoder online(fx.clf);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t t = 0; t < clip.size(); ++t) {
+      const FrameResult r = online.push(clip[t], flags[t]);
+      EXPECT_EQ(r.pose, batch[t].pose) << "round " << round << " frame " << t;
+      EXPECT_DOUBLE_EQ(r.posterior, batch[t].posterior) << "round " << round << " frame " << t;
+    }
+    EXPECT_EQ(online.frames_seen(), clip.size());
+    online.reset();
+    EXPECT_EQ(online.frames_seen(), 0u);
   }
 }
 

@@ -109,6 +109,124 @@ TEST(FaultDetection, EvidenceFramesPointAtTheRightFrames) {
 TEST(FaultDetection, EmptySequenceFailsEverything) {
   const JumpReport report = detect_faults({});
   EXPECT_EQ(report.passed_count(), 0);
+  EXPECT_EQ(report.total_count(), 6);
+  for (const FaultFinding& f : report.findings) {
+    EXPECT_FALSE(f.passed);
+    EXPECT_TRUE(f.evidence_frames.empty());
+  }
+}
+
+TEST(FaultDetection, AllUnknownSequenceFailsEverything) {
+  const JumpReport report = detect_faults(
+      sequence_of({PoseId::kUnknown, PoseId::kUnknown, PoseId::kUnknown, PoseId::kUnknown}));
+  EXPECT_EQ(report.passed_count(), 0);
+  EXPECT_EQ(report.total_count(), 6);
+  for (const FaultFinding& f : report.findings) {
+    EXPECT_TRUE(f.evidence_frames.empty());
+  }
+}
+
+TEST(IncrementalFaults, ReportMatchesBatchAtEveryPrefix) {
+  auto poses = good_jump();
+  poses.insert(poses.begin() + 4, PoseId::kUnknown);  // an unknown mid-stream
+  const auto sequence = sequence_of(poses);
+  IncrementalFaultDetector detector;
+  for (std::size_t n = 0; n < sequence.size(); ++n) {
+    detector.push(sequence[n]);
+    const JumpReport live = detector.report();
+    const JumpReport batch = detect_faults(
+        std::vector<pose::FrameResult>(sequence.begin(), sequence.begin() + static_cast<long>(n) + 1));
+    ASSERT_EQ(live.findings.size(), batch.findings.size()) << "prefix " << n;
+    for (std::size_t i = 0; i < live.findings.size(); ++i) {
+      EXPECT_EQ(live.findings[i].rule, batch.findings[i].rule) << "prefix " << n;
+      EXPECT_EQ(live.findings[i].passed, batch.findings[i].passed) << "prefix " << n;
+      EXPECT_EQ(live.findings[i].evidence_frames, batch.findings[i].evidence_frames)
+          << "prefix " << n;
+    }
+  }
+  EXPECT_EQ(detector.frames_seen(), sequence.size());
+}
+
+TEST(IncrementalFaults, PassResolvesOnFirstEvidenceFrame) {
+  IncrementalFaultDetector detector;
+  const auto sequence = sequence_of(good_jump());
+  // good_jump's first backswing pose is frame 2 (kStandHandsBackward).
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(detector.push(sequence[static_cast<std::size_t>(i)]).empty());
+  const auto events = detector.push(sequence[2]);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].finding.rule, FaultRule::kArmBackswing);
+  EXPECT_TRUE(events[0].finding.passed);
+  EXPECT_EQ(events[0].frame, 2);
+}
+
+TEST(IncrementalFaults, FailResolvesWhenTheStageWindowCloses) {
+  // No backswing and no crouch; the first airborne pose proves both rules
+  // can no longer be satisfied (stages never regress).
+  IncrementalFaultDetector detector;
+  detector.push(sequence_of({PoseId::kStandHandsForward})[0]);
+  detector.push(sequence_of({PoseId::kExtendedHandsForward})[0]);  // resolves arm drive PASS
+  const auto events = detector.push(sequence_of({PoseId::kAirTuckHandsForward})[0]);
+  bool backswing_failed = false, crouch_failed = false;
+  for (const ResolvedFault& e : events) {
+    if (e.finding.rule == FaultRule::kArmBackswing) backswing_failed = !e.finding.passed;
+    if (e.finding.rule == FaultRule::kPreparatoryCrouch) crouch_failed = !e.finding.passed;
+    EXPECT_EQ(e.frame, 2);
+  }
+  EXPECT_TRUE(backswing_failed);
+  EXPECT_TRUE(crouch_failed);
+}
+
+TEST(IncrementalFaults, FinishSettlesEveryRuleExactlyOnce) {
+  IncrementalFaultDetector detector;
+  std::size_t events = 0;
+  for (const auto& frame : sequence_of(good_jump())) events += detector.push(frame).size();
+  events += detector.finish().size();
+  EXPECT_EQ(events, 6u);
+  EXPECT_TRUE(detector.finish().empty());  // nothing left to settle
+  EXPECT_TRUE(detector.report().all_passed());
+}
+
+TEST(IncrementalFaults, EvidenceIsCappedSoSessionsStayBounded) {
+  IncrementalFaultDetector detector;
+  const auto frame = sequence_of({PoseId::kStandHandsBackward})[0];
+  for (int i = 0; i < 1000; ++i) detector.push(frame);
+  const JumpReport report = detector.report();
+  EXPECT_EQ(report.findings[0].rule, FaultRule::kArmBackswing);
+  EXPECT_TRUE(report.findings[0].passed);
+  EXPECT_EQ(report.findings[0].evidence_frames.size(), kMaxEvidenceFramesPerRule);
+}
+
+TEST(IncrementalFaults, LateEvidenceAfterEarlyFailEmitsCorrectingPass) {
+  // A non-monotone pose stream (possible with the ablation classifier
+  // configs): flight first — backswing resolves FAIL — then a backswing
+  // pose anyway. The detector must emit a correcting PASS so the live
+  // events agree with the final report.
+  IncrementalFaultDetector detector;
+  const auto fail_events = detector.push(sequence_of({PoseId::kAirTuckHandsForward})[0]);
+  bool backswing_failed = false;
+  for (const ResolvedFault& e : fail_events) {
+    if (e.finding.rule == FaultRule::kArmBackswing) backswing_failed = !e.finding.passed;
+  }
+  ASSERT_TRUE(backswing_failed);
+
+  const auto correction = detector.push(sequence_of({PoseId::kStandHandsBackward})[0]);
+  ASSERT_EQ(correction.size(), 1u);
+  EXPECT_EQ(correction[0].finding.rule, FaultRule::kArmBackswing);
+  EXPECT_TRUE(correction[0].finding.passed);
+  for (const FaultFinding& f : detector.report().findings) {
+    if (f.rule == FaultRule::kArmBackswing) EXPECT_TRUE(f.passed);
+  }
+}
+
+TEST(IncrementalFaults, EarlyFinishFailsOpenRules) {
+  IncrementalFaultDetector detector;
+  detector.push(sequence_of({PoseId::kStandHandsBackward})[0]);  // backswing PASS
+  const auto events = detector.finish();
+  EXPECT_EQ(events.size(), 5u);  // everything but the resolved backswing
+  for (const ResolvedFault& e : events) {
+    EXPECT_FALSE(e.finding.passed);
+    EXPECT_EQ(e.frame, -1);
+  }
 }
 
 TEST(JumpReport, ToStringListsAdviceForFailures) {

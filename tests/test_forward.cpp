@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace slj::bayes {
@@ -76,6 +78,69 @@ TEST(ForwardFilter, MapStatePicksArgmax) {
 TEST(ForwardFilter, MismatchedLikelihoodSizeThrows) {
   ForwardFilter f = weather_filter();
   EXPECT_THROW(f.step(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(ForwardFilter, StepLogMatchesLinearStep) {
+  ForwardFilter linear = weather_filter();
+  ForwardFilter logspace = weather_filter();
+  linear.step(std::vector<double>{0.9, 0.2});
+  logspace.step_log(std::vector<double>{std::log(0.9), std::log(0.2)});
+  EXPECT_NEAR(logspace.belief()[0], linear.belief()[0], 1e-12);
+  EXPECT_NEAR(logspace.belief()[1], linear.belief()[1], 1e-12);
+}
+
+// Regression: log-emissions hundreds of nats below zero used to underflow
+// exp() to 0 everywhere and silently degrade the update to predict-only.
+// The max-log shift keeps the relative weights exact.
+TEST(ForwardFilter, StepLogSurvivesHeavilyNegativeEmissions) {
+  ForwardFilter f = weather_filter();
+  // Same ratio as {0.9, 0.2}, shifted down by 800 nats.
+  f.step_log(std::vector<double>{std::log(0.9) - 800.0, std::log(0.2) - 800.0});
+  EXPECT_NEAR(f.belief()[0], 0.818, 1e-3);
+  EXPECT_NEAR(f.belief()[1], 0.182, 1e-3);
+}
+
+TEST(ForwardFilter, StepLogTreatsNegInfAsImpossible) {
+  ForwardFilter f = weather_filter();
+  f.step_log(std::vector<double>{-std::numeric_limits<double>::infinity(), -500.0});
+  EXPECT_DOUBLE_EQ(f.belief()[0], 0.0);
+  EXPECT_DOUBLE_EQ(f.belief()[1], 1.0);
+  // All-impossible falls back to the prediction, like an all-zero step().
+  f.reset();
+  f.step_log(std::vector<double>(2, -std::numeric_limits<double>::infinity()));
+  EXPECT_NEAR(f.belief()[0] + f.belief()[1], 1.0, 1e-12);
+}
+
+TEST(ForwardFilter, WeightLogConditionsWithoutPrediction) {
+  // Identity transition would wipe state 1's mass through a step(); a pure
+  // Bayes update must keep the prior's proportions times the likelihood.
+  ForwardFilter f({{1.0, 0.0}, {0.0, 1.0}}, {0.5, 0.5});
+  f.weight_log(std::vector<double>{std::log(0.9) - 700.0, std::log(0.3) - 700.0});
+  EXPECT_NEAR(f.belief()[0], 0.75, 1e-12);
+  EXPECT_NEAR(f.belief()[1], 0.25, 1e-12);
+}
+
+TEST(ForwardFilter, FromPotentialsAcceptsUnnormalizedRows) {
+  // Rows are gated potentials (second row sums to 0.4, prior unnormalized):
+  // the belief must still be a distribution after every step.
+  ForwardFilter f = ForwardFilter::from_potentials({{2.0, 1.0}, {0.0, 0.4}}, {3.0, 1.0});
+  EXPECT_NEAR(f.belief()[0], 0.75, 1e-12);  // prior normalized on entry
+  f.step(std::vector<double>{1.0, 1.0});
+  double sum = 0.0;
+  for (const double p : f.belief()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Hand computation: predicted ∝ {0.75·2, 0.75·1 + 0.25·0.4} = {1.5, 0.85}.
+  EXPECT_NEAR(f.belief()[0], 1.5 / 2.35, 1e-12);
+}
+
+TEST(ForwardFilter, FromPotentialsValidates) {
+  EXPECT_THROW(ForwardFilter::from_potentials({}, {}), std::invalid_argument);
+  EXPECT_THROW(ForwardFilter::from_potentials({{1.0, 0.0}, {0.0, -1.0}}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(ForwardFilter::from_potentials({{1.0}, {1.0}}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(ForwardFilter::from_potentials({{1.0, 1.0}, {1.0, 1.0}}, {0.0, 0.0}),
+               std::invalid_argument);
 }
 
 TEST(ForwardFilter, ConvergesToStationaryDistribution) {
