@@ -2,8 +2,15 @@
 // thin → graph cleanup → features) for a serial FramePipeline loop vs the
 // ClipEngine worker pool at increasing worker counts, on single clips and
 // on a whole batch (the paper corpus's 3 test clips). Also reports the
-// tracker-enabled batch mode (clip-level parallelism).
+// workspace fast path run single-threaded (the PR-4 tentpole's apples-to-
+// apples comparison) and the tracker-enabled batch mode.
+//
+// With --json FILE, the measurements are also written as a JSON document
+// (consumed by scripts/bench.sh to assemble BENCH_pr4.json).
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,8 +33,13 @@ std::size_t total_frames(const std::vector<slj::synth::Clip>& clips) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slj;
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
   bench::print_header("P3  ClipEngine throughput vs serial FramePipeline",
                       "system sketch Sec. 1: batch clip processing at production scale");
 
@@ -38,7 +50,8 @@ int main() {
   std::printf("corpus: %zu clips, %zu frames; hardware concurrency: %u\n\n", clips.size(),
               frames, hw);
 
-  // Baseline: the serial loop every example used before the engine existed.
+  // Baseline: the serial loop every example used before the engine existed
+  // (seed implementations: allocating extract + full-scan Zhang–Suen).
   double serial_ms = 0.0;
   {
     const auto start = Clock::now();
@@ -55,10 +68,32 @@ int main() {
     std::printf("serial FramePipeline loop      %8.1f ms   %7.1f frames/s\n", serial_ms,
                 1000.0 * frames / serial_ms);
   }
+
+  // The tentpole, measured directly: the same serial loop through one
+  // FrameWorkspace (allocation-free segmentation + frontier thinning).
+  double workspace_ms = 0.0;
+  {
+    FrameWorkspace ws;
+    core::FrameObservation obs;
+    const auto start = Clock::now();
+    for (const synth::Clip& clip : clips) {
+      core::FramePipeline pipeline;
+      pipeline.set_background(clip.background);
+      core::GroundMonitor ground;
+      for (const RgbImage& frame : clip.frames) {
+        pipeline.process_into(frame, ws, obs);
+        ground.airborne(obs.bottom_row);
+      }
+    }
+    workspace_ms = ms_since(start);
+    std::printf("serial + FrameWorkspace        %8.1f ms   %7.1f frames/s   speedup %.2fx\n",
+                workspace_ms, 1000.0 * frames / workspace_ms, serial_ms / workspace_ms);
+  }
   bench::print_rule();
 
   std::vector<unsigned> worker_counts = {1, 2, 4};
   if (hw > 4) worker_counts.push_back(hw);
+  std::vector<std::pair<unsigned, double>> engine_ms;
   for (const unsigned workers : worker_counts) {
     core::ClipEngineConfig config;
     config.workers = workers;
@@ -66,6 +101,7 @@ int main() {
     const auto start = Clock::now();
     const std::vector<core::ClipObservation> results = engine.process(clips);
     const double ms = ms_since(start);
+    engine_ms.emplace_back(workers, ms);
     std::printf("ClipEngine batch, %2u workers   %8.1f ms   %7.1f frames/s   speedup %.2fx\n",
                 workers, ms, 1000.0 * frames / ms, serial_ms / ms);
     (void)results;
@@ -73,6 +109,7 @@ int main() {
   bench::print_rule();
 
   // Tracker mode: clip-level parallelism only (tracking is sequential).
+  double tracker_ms = 0.0;
   {
     core::ClipEngineConfig config;
     config.workers = hw;
@@ -80,10 +117,41 @@ int main() {
     core::ClipEngine engine({}, config);
     const auto start = Clock::now();
     const std::vector<core::ClipObservation> results = engine.process(clips);
-    const double ms = ms_since(start);
-    std::printf("ClipEngine + tracker, %2u wkrs  %8.1f ms   %7.1f frames/s\n", hw, ms,
-                1000.0 * frames / ms);
+    tracker_ms = ms_since(start);
+    std::printf("ClipEngine + tracker, %2u wkrs  %8.1f ms   %7.1f frames/s\n", hw, tracker_ms,
+                1000.0 * frames / tracker_ms);
     (void)results;
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"clips\": %zu,\n  \"frames\": %zu,\n  \"hardware_concurrency\": %u,\n",
+                 clips.size(), frames, hw);
+    std::fprintf(f, "  \"serial_seed\": {\"ms\": %.3f, \"frames_per_s\": %.1f},\n", serial_ms,
+                 1000.0 * frames / serial_ms);
+    std::fprintf(f,
+                 "  \"serial_workspace\": {\"ms\": %.3f, \"frames_per_s\": %.1f, "
+                 "\"speedup_vs_seed\": %.3f},\n",
+                 workspace_ms, 1000.0 * frames / workspace_ms, serial_ms / workspace_ms);
+    std::fprintf(f, "  \"engine\": [\n");
+    for (std::size_t i = 0; i < engine_ms.size(); ++i) {
+      const auto [workers, ms] = engine_ms[i];
+      std::fprintf(f,
+                   "    {\"workers\": %u, \"ms\": %.3f, \"frames_per_s\": %.1f, "
+                   "\"speedup_vs_seed\": %.3f}%s\n",
+                   workers, ms, 1000.0 * frames / ms, serial_ms / ms,
+                   i + 1 < engine_ms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"engine_tracker\": {\"workers\": %u, \"ms\": %.3f, \"frames_per_s\": %.1f}\n",
+                 hw, tracker_ms, 1000.0 * frames / tracker_ms);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
   }
   return 0;
 }

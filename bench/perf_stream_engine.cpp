@@ -4,8 +4,12 @@
 // ClipEngine batch path's throughput on the same workload. The live path
 // is the one a courtside coach cares about: how long after a frame arrives
 // is its pose decision (and any newly resolved advice) available?
+// With --json FILE, the measurements are also written as a JSON document
+// (consumed by scripts/bench.sh to assemble BENCH_pr4.json).
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -29,8 +33,12 @@ double percentile(std::vector<double> samples, double q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slj;
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
   bench::print_header("P4  StreamEngine per-frame latency vs ClipEngine batch",
                       "live coaching: advice while the jumper is still in the air");
 
@@ -47,6 +55,13 @@ int main() {
   // tick advances all sessions by one frame in parallel, and the tick's
   // wall time is the latency a frame experiences before its decision (and
   // any resolved advice) is out.
+  struct StreamRow {
+    std::size_t sessions = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double frames_per_s = 0.0;
+  };
+  std::vector<StreamRow> rows;
   double stream_frames_per_s = 0.0;
   for (const std::size_t sessions : {std::size_t{1}, std::size_t{8}, std::size_t{16}}) {
     core::StreamManagerConfig config;
@@ -74,9 +89,11 @@ int main() {
     const double total_ms = ms_since(start);
     for (const int id : ids) manager.close_session(id);
     stream_frames_per_s = 1000.0 * static_cast<double>(frames) / total_ms;
+    rows.push_back({sessions, percentile(tick_ms, 0.50), percentile(tick_ms, 0.99),
+                    stream_frames_per_s});
     std::printf(
         "stream, %2zu sessions   per-frame latency p50 %7.2f ms   p99 %7.2f ms   %7.1f frames/s\n",
-        sessions, percentile(tick_ms, 0.50), percentile(tick_ms, 0.99), stream_frames_per_s);
+        sessions, rows.back().p50_ms, rows.back().p99_ms, stream_frames_per_s);
   }
   bench::print_rule();
 
@@ -99,6 +116,27 @@ int main() {
     const double batch_frames_per_s = 1000.0 * static_cast<double>(frames) / ms;
     std::printf("ClipEngine batch, 16 clips     %8.1f ms   %7.1f frames/s   (stream at %.0f%%)\n",
                 ms, batch_frames_per_s, 100.0 * stream_frames_per_s / batch_frames_per_s);
+
+    if (json_path != nullptr) {
+      std::FILE* f = std::fopen(json_path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+      }
+      std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"stream\": [\n", hw);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"sessions\": %zu, \"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+                     "\"frames_per_s\": %.1f}%s\n",
+                     rows[i].sessions, rows[i].p50_ms, rows[i].p99_ms, rows[i].frames_per_s,
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f, "  \"batch_16_clips\": {\"ms\": %.3f, \"frames_per_s\": %.1f}\n", ms,
+                   batch_frames_per_s);
+      std::fprintf(f, "}\n");
+      std::fclose(f);
+    }
   }
   return 0;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize]
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan]
 #   --sanitize   Debug build with ASan+UBSan (keeps the streaming/worker-pool
 #                concurrency sanitizer-clean).
+#   --tsan       Debug build with ThreadSanitizer (pins that per-lane
+#                FrameWorkspace reuse in the engines stays data-race-free).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +16,12 @@ for arg in "$@"; do
       CMAKE_ARGS+=(
         -DCMAKE_BUILD_TYPE=Debug
         "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
+      )
+      ;;
+    --tsan)
+      CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=Debug
+        "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all"
       )
       ;;
     *) BUILD_DIR="$arg" ;;

@@ -15,7 +15,8 @@ WorkerPool::WorkerPool(unsigned workers) {
   const unsigned extra = workers > 1 ? workers - 1 : 0;
   threads_.reserve(extra);
   for (unsigned i = 0; i < extra; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    // Lane 0 is the calling thread; workers take lanes 1..extra.
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -28,12 +29,13 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::run_tasks(const std::function<void(std::size_t)>& fn, std::size_t count) {
+void WorkerPool::run_tasks(const std::function<void(std::size_t, std::size_t)>& fn,
+                           std::size_t count, std::size_t lane) {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) return;
     try {
-      fn(i);
+      fn(lane, i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -41,10 +43,10 @@ void WorkerPool::run_tasks(const std::function<void(std::size_t)>& fn, std::size
   }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(std::size_t lane) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t count = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -54,7 +56,7 @@ void WorkerPool::worker_loop() {
       fn = fn_;
       count = count_;
     }
-    run_tasks(*fn, count);
+    run_tasks(*fn, count, lane);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0) done_.notify_one();
@@ -63,9 +65,14 @@ void WorkerPool::worker_loop() {
 }
 
 void WorkerPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  parallel_for_lanes(count, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void WorkerPool::parallel_for_lanes(std::size_t count,
+                                    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   if (threads_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
   {
@@ -78,7 +85,7 @@ void WorkerPool::parallel_for(std::size_t count, const std::function<void(std::s
     ++generation_;
   }
   wake_.notify_all();
-  run_tasks(fn, count);
+  run_tasks(fn, count, /*lane=*/0);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -99,13 +106,13 @@ std::vector<std::vector<pose::FeatureCandidate>> ClipObservation::candidate_sets
 }
 
 ClipEngine::ClipEngine(PipelineParams params, ClipEngineConfig config)
-    : params_(params), config_(config), pool_(config.workers) {}
+    : params_(params), config_(config), pool_(config.workers), workspaces_(pool_.size() + 1) {}
 
 ClipObservation ClipEngine::aggregate(std::vector<FrameObservation> frames) const {
   ClipObservation clip;
   clip.frames = std::move(frames);
   clip.airborne.reserve(clip.frames.size());
-  GroundMonitor ground(config_.lift_threshold_px);
+  GroundMonitor ground(config_.lift_threshold_px, config_.ground_calibration_frames);
   for (const FrameObservation& obs : clip.frames) {
     const bool flying = ground.airborne(obs.bottom_row);
     clip.airborne.push_back(flying);
@@ -117,14 +124,14 @@ ClipObservation ClipEngine::aggregate(std::vector<FrameObservation> frames) cons
 }
 
 ClipObservation ClipEngine::process_serial_tracked(const RgbImage& background,
-                                                   const std::vector<RgbImage>& frames) const {
+                                                   const std::vector<RgbImage>& frames,
+                                                   FrameWorkspace& ws) const {
   FramePipeline pipeline(params_);
   pipeline.set_background(background);
   detect::BlobTracker tracker(config_.tracker);
-  std::vector<FrameObservation> observations;
-  observations.reserve(frames.size());
-  for (const RgbImage& frame : frames) {
-    observations.push_back(pipeline.process(frame, tracker));
+  std::vector<FrameObservation> observations(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    pipeline.process_into(frames[i], tracker, ws, observations[i]);
   }
   return aggregate(std::move(observations));
 }
@@ -132,13 +139,13 @@ ClipObservation ClipEngine::process_serial_tracked(const RgbImage& background,
 ClipObservation ClipEngine::process(const RgbImage& background,
                                     const std::vector<RgbImage>& frames) {
   if (config_.use_tracker) {
-    return process_serial_tracked(background, frames);
+    return process_serial_tracked(background, frames, workspaces_.front());
   }
   FramePipeline pipeline(params_);
   pipeline.set_background(background);
   std::vector<FrameObservation> observations(frames.size());
-  pool_.parallel_for(frames.size(), [&](std::size_t i) {
-    observations[i] = pipeline.process(frames[i]);
+  pool_.parallel_for_lanes(frames.size(), [&](std::size_t lane, std::size_t i) {
+    pipeline.process_into(frames[i], workspaces_[lane], observations[i]);
   });
   return aggregate(std::move(observations));
 }
@@ -151,8 +158,8 @@ std::vector<ClipObservation> ClipEngine::process(const std::vector<synth::Clip>&
   std::vector<ClipObservation> results(clips.size());
   if (config_.use_tracker) {
     // Tracking is stateful in frame order: one sequential task per clip.
-    pool_.parallel_for(clips.size(), [&](std::size_t c) {
-      results[c] = process_serial_tracked(clips[c].background, clips[c].frames);
+    pool_.parallel_for_lanes(clips.size(), [&](std::size_t lane, std::size_t c) {
+      results[c] = process_serial_tracked(clips[c].background, clips[c].frames, workspaces_[lane]);
     });
     return results;
   }
@@ -171,11 +178,11 @@ std::vector<ClipObservation> ClipEngine::process(const std::vector<synth::Clip>&
   for (std::size_t c = 0; c < clips.size(); ++c) {
     observations[c].resize(clips[c].frames.size());
   }
-  pool_.parallel_for(offsets.back(), [&](std::size_t flat) {
+  pool_.parallel_for_lanes(offsets.back(), [&](std::size_t lane, std::size_t flat) {
     const auto it = std::upper_bound(offsets.begin(), offsets.end(), flat);
     const std::size_t c = static_cast<std::size_t>(it - offsets.begin()) - 1;
     const std::size_t f = flat - offsets[c];
-    observations[c][f] = pipelines[c].process(clips[c].frames[f]);
+    pipelines[c].process_into(clips[c].frames[f], workspaces_[lane], observations[c][f]);
   });
   for (std::size_t c = 0; c < clips.size(); ++c) {
     results[c] = aggregate(std::move(observations[c]));

@@ -42,15 +42,23 @@ class WorkerPool {
   /// whole index space has drained.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Lane-aware variant: fn(lane, i), where `lane` identifies the executing
+  /// thread (0 = the calling thread, 1..size() = pool workers). Lanes let
+  /// tasks address per-thread state — e.g. one FrameWorkspace per lane —
+  /// without locking: a lane never runs two tasks concurrently.
+  void parallel_for_lanes(std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
-  void worker_loop();
-  void run_tasks(const std::function<void(std::size_t)>& fn, std::size_t count);
+  void worker_loop(std::size_t lane);
+  void run_tasks(const std::function<void(std::size_t, std::size_t)>& fn, std::size_t count,
+                 std::size_t lane);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t active_ = 0;        ///< workers still inside the current batch
@@ -69,6 +77,9 @@ struct ClipEngineConfig {
   detect::TrackerConfig tracker;
   /// GroundMonitor lift threshold (px) for the airborne flag.
   int lift_threshold_px = 3;
+  /// Grounded frames the ground line is calibrated over (max of their
+  /// bottom rows), guarding against one noisy first frame.
+  int ground_calibration_frames = GroundMonitor::kDefaultCalibrationFrames;
 };
 
 /// Everything the engine derives from one clip: per-frame observations plus
@@ -114,11 +125,16 @@ class ClipEngine {
   /// Replays the clip-level sequential state over per-frame results.
   ClipObservation aggregate(std::vector<FrameObservation> frames) const;
   ClipObservation process_serial_tracked(const RgbImage& background,
-                                         const std::vector<RgbImage>& frames) const;
+                                         const std::vector<RgbImage>& frames,
+                                         FrameWorkspace& ws) const;
 
   PipelineParams params_;
   ClipEngineConfig config_;
   WorkerPool pool_;
+  /// One workspace per lane (pool workers + calling thread); lane l of a
+  /// parallel_for_lanes batch owns workspaces_[l] for the batch's duration,
+  /// so steady-state frame processing allocates no full-frame buffers.
+  std::vector<FrameWorkspace> workspaces_;
 };
 
 }  // namespace slj::core

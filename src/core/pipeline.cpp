@@ -29,10 +29,41 @@ FrameObservation FramePipeline::process(const RgbImage& frame,
   return process_silhouette(res.silhouette);
 }
 
-FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette) const {
+FrameObservation FramePipeline::process(const RgbImage& frame, FrameWorkspace& ws) const {
   FrameObservation obs;
-  obs.silhouette = silhouette;
-  obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
+  process_into(frame, ws, obs);
+  return obs;
+}
+
+FrameObservation FramePipeline::process(const RgbImage& frame, detect::BlobTracker& tracker,
+                                        FrameWorkspace& ws) const {
+  FrameObservation obs;
+  process_into(frame, tracker, ws, obs);
+  return obs;
+}
+
+void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
+                                 FrameObservation& out) const {
+  extractor_.extract_into(frame, ws, out.silhouette);
+  finish_observation(ws, out);
+}
+
+void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
+                                 FrameWorkspace& ws, FrameObservation& out) const {
+  extractor_.extract_into(frame, ws, out.silhouette);
+  const detect::TrackResult track = tracker.update(ws.smoothed);
+  if (track.measured) {
+    fill_holes_into(track.mask, ws.reached, ws.flood_stack, out.silhouette);
+  }
+  // else: keep the extractor's own cleanup (already in out.silhouette) so
+  // the clip keeps flowing, matching process(frame, tracker).
+  finish_observation(ws, out);
+}
+
+// Stages downstream of thinning, shared by the seed and workspace paths so
+// they cannot diverge: graph cleanup, key points, candidates, bottom row.
+// Expects obs.silhouette and obs.raw_skeleton to be set.
+void FramePipeline::finish_graph_stages(FrameObservation& obs) const {
   obs.graph = skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices, &obs.cleanup);
   if (params_.split_bends) {
     skel::split_edges_at_bends(obs.graph, params_.bend_tolerance);
@@ -40,14 +71,27 @@ FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette
   obs.key_points = skel::extract_key_points(obs.graph);
   obs.candidates = pose::enumerate_candidates(obs.graph, encoder_, params_.candidates);
   obs.bottom_row = -1;
-  for (int y = obs.silhouette.height() - 1; y >= 0 && obs.bottom_row < 0; --y) {
-    for (int x = 0; x < obs.silhouette.width(); ++x) {
-      if (obs.silhouette.at(x, y)) {
-        obs.bottom_row = y;
-        break;
-      }
+  const int w = obs.silhouette.width();
+  const std::uint8_t* data = obs.silhouette.data().data();
+  for (int y = obs.silhouette.height() - 1; y >= 0; --y) {
+    const std::uint8_t* row = data + static_cast<std::size_t>(y) * w;
+    if (std::any_of(row, row + w, [](std::uint8_t v) { return v != 0; })) {
+      obs.bottom_row = y;
+      break;
     }
   }
+}
+
+void FramePipeline::finish_observation(FrameWorkspace& ws, FrameObservation& obs) const {
+  thin::zhang_suen_thin_into(obs.silhouette, ws, obs.raw_skeleton);
+  finish_graph_stages(obs);
+}
+
+FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette) const {
+  FrameObservation obs;
+  obs.silhouette = silhouette;
+  obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
+  finish_graph_stages(obs);
   return obs;
 }
 

@@ -3,9 +3,12 @@
 // turns the paper's Sections 2–4 into one call per frame.
 #pragma once
 
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "detection/blob_tracker.hpp"
+#include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
 #include "pose/skeleton_features.hpp"
 #include "segmentation/object_extractor.hpp"
@@ -39,27 +42,51 @@ struct FrameObservation {
 /// Derives the "jumping stage flag" observable: tracks the ground line from
 /// the first frames of a clip and reports when the silhouette's lowest
 /// point has left it.
+///
+/// Calibration spans the first `calibration_frames` grounded frames: the
+/// ground line is the max (lowest point in image coordinates) of their
+/// bottom rows, so one under-segmented first frame — legs clipped, bottom
+/// row too high — can no longer mis-flag the whole clip airborne. Frames
+/// already assessed airborne against the running estimate never extend the
+/// calibration, which keeps a jump that starts early from dragging the
+/// ground line up into the air. Flags stay streaming: each frame is judged
+/// against the estimate as of that frame, never retroactively.
 class GroundMonitor {
  public:
-  explicit GroundMonitor(int lift_threshold_px = 3) : threshold_(lift_threshold_px) {}
+  explicit GroundMonitor(int lift_threshold_px = 3, int calibration_frames = kDefaultCalibrationFrames)
+      : threshold_(lift_threshold_px), calibration_frames_(calibration_frames) {
+    if (calibration_frames < 1) {
+      throw std::invalid_argument("GroundMonitor: calibration_frames must be >= 1");
+    }
+  }
+
+  /// Grounded frames the ground line is calibrated over.
+  static constexpr int kDefaultCalibrationFrames = 5;
 
   /// Feeds one frame's bottom row; returns the airborne flag for it.
   bool airborne(int bottom_row) {
     if (bottom_row < 0) return ground_row_ >= 0 && last_airborne_;
-    if (ground_row_ < 0) ground_row_ = bottom_row;  // calibrate on first visible frame
-    last_airborne_ = bottom_row < ground_row_ - threshold_;
-    return last_airborne_;
+    const bool flying = ground_row_ >= 0 && bottom_row < ground_row_ - threshold_;
+    if (!flying && calibrated_frames_ < calibration_frames_) {
+      ground_row_ = std::max(ground_row_, bottom_row);
+      ++calibrated_frames_;
+    }
+    last_airborne_ = flying;
+    return flying;
   }
 
   int ground_row() const { return ground_row_; }
   void reset() {
     ground_row_ = -1;
+    calibrated_frames_ = 0;
     last_airborne_ = false;
   }
 
  private:
   int threshold_;
+  int calibration_frames_;
   int ground_row_ = -1;
+  int calibrated_frames_ = 0;
   bool last_airborne_ = false;
 };
 
@@ -84,11 +111,32 @@ class FramePipeline {
   /// Falls back to the plain extractor result while no track is confirmed.
   FrameObservation process(const RgbImage& frame, detect::BlobTracker& tracker) const;
 
+  /// Workspace fast paths: bit-identical observations, but every full-frame
+  /// intermediate lives in `ws`, so steady-state processing (same-sized
+  /// frames through the same workspace) allocates no full-frame buffer. The
+  /// engines give each worker lane / live session its own workspace; a
+  /// workspace must never be shared between concurrent calls.
+  FrameObservation process(const RgbImage& frame, FrameWorkspace& ws) const;
+  FrameObservation process(const RgbImage& frame, detect::BlobTracker& tracker,
+                           FrameWorkspace& ws) const;
+
+  /// Same, writing into an existing observation so its buffers are reused
+  /// frame over frame (the StreamEngine steady state).
+  void process_into(const RgbImage& frame, FrameWorkspace& ws, FrameObservation& out) const;
+  void process_into(const RgbImage& frame, detect::BlobTracker& tracker, FrameWorkspace& ws,
+                    FrameObservation& out) const;
+
   /// Pipeline from an already-extracted silhouette (used by tests and by
   /// benches that feed ground-truth masks).
   FrameObservation process_silhouette(const BinaryImage& silhouette) const;
 
  private:
+  /// Stages after segmentation: thinning, graph cleanup, key points,
+  /// candidates, bottom row. Expects out.silhouette to be set.
+  void finish_observation(FrameWorkspace& ws, FrameObservation& out) const;
+  /// Stages after thinning, shared by the seed and workspace paths.
+  void finish_graph_stages(FrameObservation& out) const;
+
   PipelineParams params_;
   seg::ObjectExtractor extractor_;
   pose::AreaEncoder encoder_;

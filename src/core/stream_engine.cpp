@@ -14,7 +14,7 @@ StreamSession::StreamSession(const pose::PoseDbnClassifier& classifier,
     : pipeline_(params),
       config_(config),
       classifier_(&classifier),
-      ground_(config.lift_threshold_px),
+      ground_(config.lift_threshold_px, config.ground_calibration_frames),
       online_state_(classifier.initial_state()) {
   pipeline_.set_background(background);
   if (config_.use_tracker) tracker_.emplace(config_.tracker);
@@ -22,8 +22,14 @@ StreamSession::StreamSession(const pose::PoseDbnClassifier& classifier,
 }
 
 StreamUpdate StreamSession::push_frame(const RgbImage& frame) {
-  return push_observation(tracker_ ? pipeline_.process(frame, *tracker_)
-                                   : pipeline_.process(frame));
+  // observation_ / workspace_ are reused frame over frame so the camera
+  // steady state allocates no full-frame buffers.
+  if (tracker_) {
+    pipeline_.process_into(frame, *tracker_, workspace_, observation_);
+  } else {
+    pipeline_.process_into(frame, workspace_, observation_);
+  }
+  return push_observation(observation_);
 }
 
 StreamUpdate StreamSession::push_observation(const FrameObservation& observation) {

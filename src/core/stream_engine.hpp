@@ -43,6 +43,9 @@ struct StreamSessionConfig {
   detect::TrackerConfig tracker;
   /// GroundMonitor lift threshold (px) for the airborne flag.
   int lift_threshold_px = 3;
+  /// Grounded frames the ground line is calibrated over (max of their
+  /// bottom rows), guarding against one noisy first frame.
+  int ground_calibration_frames = GroundMonitor::kDefaultCalibrationFrames;
 };
 
 /// Everything a session reports back for one pushed frame.
@@ -90,6 +93,10 @@ class StreamSession {
   std::optional<pose::OnlineForwardDecoder> forward_;  ///< kFiltering only
   IncrementalFaultDetector faults_;
   std::size_t frames_ = 0;
+  /// Per-session scratch: after the first frame sizes them, push_frame
+  /// performs no full-frame heap allocations (camera steady state).
+  FrameWorkspace workspace_;
+  FrameObservation observation_;
 };
 
 struct StreamManagerConfig {

@@ -6,12 +6,21 @@
 namespace slj {
 
 Labeling label_components(const BinaryImage& img, bool eight_connected) {
+  Labeling out;
+  std::vector<PointI> stack;
+  label_components_into(img, eight_connected, out, stack);
+  return out;
+}
+
+void label_components_into(const BinaryImage& img, bool eight_connected, Labeling& out,
+                           std::vector<PointI>& stack) {
   const int w = img.width();
   const int h = img.height();
-  Labeling out{Image<int>(w, h, 0), {}};
+  out.labels.assign(w, h, 0);
+  out.components.clear();
+  stack.clear();
   const std::span<const PointI> nbrs =
       eight_connected ? std::span<const PointI>(kNeighbours8) : std::span<const PointI>(kNeighbours4);
-  std::vector<PointI> stack;
   int next_label = 0;
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
@@ -48,20 +57,27 @@ Labeling label_components(const BinaryImage& img, bool eight_connected) {
       out.components.push_back(stats);
     }
   }
-  return out;
 }
 
 BinaryImage largest_component(const BinaryImage& img, bool eight_connected) {
-  const Labeling labeling = label_components(img, eight_connected);
-  BinaryImage out(img.width(), img.height(), 0);
-  if (labeling.components.empty()) return out;
+  Labeling labeling;
+  std::vector<PointI> stack;
+  BinaryImage out;
+  largest_component_into(img, eight_connected, labeling, stack, out);
+  return out;
+}
+
+void largest_component_into(const BinaryImage& img, bool eight_connected, Labeling& labeling,
+                            std::vector<PointI>& stack, BinaryImage& out) {
+  label_components_into(img, eight_connected, labeling, stack);
+  out.assign(img.width(), img.height(), 0);
+  if (labeling.components.empty()) return;
   const auto largest = std::max_element(
       labeling.components.begin(), labeling.components.end(),
       [](const ComponentStats& a, const ComponentStats& b) { return a.area < b.area; });
   for (std::size_t i = 0; i < out.size(); ++i) {
     out.data()[i] = labeling.labels.data()[i] == largest->label ? 1 : 0;
   }
-  return out;
 }
 
 std::size_t component_count(const BinaryImage& img, bool eight_connected) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
+#include "imaging/frame_workspace.hpp"
 #include "imaging/integral.hpp"
 
 namespace slj {
@@ -53,26 +55,61 @@ GrayImage median_filter(const GrayImage& img, int k) {
 }
 
 BinaryImage median_filter_binary(const BinaryImage& img, int k) {
+  IntegralImage integral;
+  BinaryImage out;
+  median_filter_binary_into(img, k, integral, out);
+  return out;
+}
+
+void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
+                               BinaryImage& out) {
   require_odd(k);
   const int w = img.width();
   const int h = img.height();
-  IntegralImage integral(w, h, [&](int x, int y) { return img.at(x, y) ? 1.0 : 0.0; });
-  const int half = k / 2;
-  BinaryImage out(w, h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const int x0 = std::max(x - half, 0);
-      const int y0 = std::max(y - half, 0);
-      const int x1 = std::min(x + half, w - 1);
-      const int y1 = std::min(y + half, h - 1);
-      const double area = static_cast<double>(x1 - x0 + 1) * (y1 - y0 + 1);
-      const double ones = integral.sum(x0, y0, x1, y1);
-      // Upper median of a 0/1 population (ties resolve to 1, matching the
-      // grayscale median's index-count/2 element).
-      out.at(x, y) = ones * 2.0 >= area ? 1 : 0;
+  // Mask summed-area table, built with a pointer walk (same recurrence as
+  // IntegralImage::assign, so the sums are bit-identical).
+  {
+    double* tab = integral.raw_prepare(w, h);
+    const std::size_t stride = static_cast<std::size_t>(w) + 1;
+    const std::uint8_t* src = img.data().data();
+    for (int y = 0; y < h; ++y) {
+      double* row = tab + (static_cast<std::size_t>(y) + 1) * stride;
+      const double* prev = row - stride;
+      double row_sum = 0.0;
+      for (int x = 0; x < w; ++x) {
+        row_sum += *src++ ? 1.0 : 0.0;
+        row[x + 1] = prev[x + 1] + row_sum;
+      }
     }
   }
-  return out;
+  const int half = k / 2;
+  const double interior_area = static_cast<double>(k) * static_cast<double>(k);
+  const double* tab = integral.raw();
+  const std::size_t stride = integral.stride();
+  out.resize_discard(w, h);
+  std::uint8_t* dst = out.data().data();
+  // Upper median of a 0/1 population (ties resolve to 1, matching the
+  // grayscale median's index-count/2 element).
+  const auto clamped_pixel = [&](int x, int y) {
+    const int x0 = std::max(x - half, 0);
+    const int y0 = std::max(y - half, 0);
+    const int x1 = std::min(x + half, w - 1);
+    const int y1 = std::min(y + half, h - 1);
+    const double area = static_cast<double>(x1 - x0 + 1) * (y1 - y0 + 1);
+    *dst++ = integral.sum(x0, y0, x1, y1) * 2.0 >= area ? 1 : 0;
+  };
+  for (int y = 0; y < h; ++y) {
+    if (y < half || y + half >= h) {
+      for (int x = 0; x < w; ++x) clamped_pixel(x, y);
+      continue;
+    }
+    int x = 0;
+    for (; x < half && x < w; ++x) clamped_pixel(x, y);
+    for (const int x_end = w - half; x < x_end; ++x) {
+      *dst++ = interior_window_sum(tab, stride, x, y, half) * 2.0 >= interior_area ? 1 : 0;
+    }
+    for (; x < w; ++x) clamped_pixel(x, y);
+  }
 }
 
 GrayImage box_blur(const GrayImage& img, int k) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "imaging/image.hpp"
+#include "imaging/integral.hpp"
 
 namespace slj {
 
@@ -15,6 +16,13 @@ GrayImage median_filter(const GrayImage& img, int k);
 /// the majority of its (clamped) k×k window is foreground. Equivalent to
 /// median_filter on a 0/1 image but considerably faster.
 BinaryImage median_filter_binary(const BinaryImage& img, int k);
+
+/// Allocation-free variant: the mask's summed-area table is built in
+/// `integral` and the result written to `out`, both reusing their storage.
+/// Output is bit-identical to median_filter_binary. `out` must not alias
+/// `img`.
+void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
+                               BinaryImage& out);
 
 /// Box blur (mean filter) over a k×k window, rounding to nearest.
 GrayImage box_blur(const GrayImage& img, int k);

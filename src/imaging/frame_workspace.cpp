@@ -1,0 +1,74 @@
+#include "imaging/frame_workspace.hpp"
+
+#include <stdexcept>
+
+namespace slj {
+
+void build_rgb_integrals(const RgbImage& img, FrameWorkspace& ws) {
+  const int w = img.width();
+  const int h = img.height();
+  double* tr = ws.integral_r.raw_prepare(w, h);
+  double* tg = ws.integral_g.raw_prepare(w, h);
+  double* tb = ws.integral_b.raw_prepare(w, h);
+  const std::size_t stride = static_cast<std::size_t>(w) + 1;
+  const Rgb* px = img.data().data();
+  for (int y = 0; y < h; ++y) {
+    // Row y of the source fills table row y+1; row 0 stays zero (prepared).
+    double* row_r = tr + (static_cast<std::size_t>(y) + 1) * stride;
+    double* row_g = tg + (static_cast<std::size_t>(y) + 1) * stride;
+    double* row_b = tb + (static_cast<std::size_t>(y) + 1) * stride;
+    const double* prev_r = row_r - stride;
+    const double* prev_g = row_g - stride;
+    const double* prev_b = row_b - stride;
+    double sum_r = 0.0;
+    double sum_g = 0.0;
+    double sum_b = 0.0;
+    for (int x = 0; x < w; ++x) {
+      const Rgb p = *px++;
+      sum_r += static_cast<double>(p.r);
+      sum_g += static_cast<double>(p.g);
+      sum_b += static_cast<double>(p.b);
+      row_r[x + 1] = prev_r[x + 1] + sum_r;
+      row_g[x + 1] = prev_g[x + 1] + sum_g;
+      row_b[x + 1] = prev_b[x + 1] + sum_b;
+    }
+  }
+}
+
+void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws) {
+  if (n < 1 || n % 2 == 0) {
+    throw std::invalid_argument("moving-window size must be odd and >= 1");
+  }
+  const int w = img.width();
+  const int h = img.height();
+  build_rgb_integrals(img, ws);
+  ws.aave.r.resize_discard(w, h);
+  ws.aave.g.resize_discard(w, h);
+  ws.aave.b.resize_discard(w, h);
+  const int half = n / 2;
+  const double area = static_cast<double>(n) * static_cast<double>(n);
+  const double* tr = ws.integral_r.raw();
+  const double* tg = ws.integral_g.raw();
+  const double* tb = ws.integral_b.raw();
+  const std::size_t stride = ws.integral_r.stride();
+  double* out_r = ws.aave.r.data().data();
+  double* out_g = ws.aave.g.data().data();
+  double* out_b = ws.aave.b.data().data();
+  std::size_t i = 0;
+  for (int y = 0; y < h; ++y) {
+    const bool y_interior = y >= half && y + half < h;
+    for (int x = 0; x < w; ++x, ++i) {
+      if (y_interior && x >= half && x + half < w) {
+        out_r[i] = interior_window_mean(tr, stride, x, y, half, area);
+        out_g[i] = interior_window_mean(tg, stride, x, y, half, area);
+        out_b[i] = interior_window_mean(tb, stride, x, y, half, area);
+      } else {
+        out_r[i] = ws.integral_r.window_mean(x, y, n);
+        out_g[i] = ws.integral_g.window_mean(x, y, n);
+        out_b[i] = ws.integral_b.window_mean(x, y, n);
+      }
+    }
+  }
+}
+
+}  // namespace slj

@@ -58,6 +58,23 @@ class Image {
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Resizes to width × height with every pixel set to `fill`. Reuses the
+  /// existing buffer when capacity allows, so steady-state callers (per-frame
+  /// scratch in FrameWorkspace) never reallocate.
+  void assign(int width, int height, T fill = T{}) {
+    data_.assign(checked_size(width, height), fill);
+    width_ = width;
+    height_ = height;
+  }
+
+  /// Resizes to width × height leaving pixel values unspecified (whatever the
+  /// buffer held before). For scratch images that are fully overwritten.
+  void resize_discard(int width, int height) {
+    data_.resize(checked_size(width, height));
+    width_ = width;
+    height_ = height;
+  }
+
   const std::vector<T>& data() const { return data_; }
   std::vector<T>& data() { return data_; }
 

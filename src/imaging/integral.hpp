@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "imaging/image.hpp"
@@ -17,8 +18,18 @@ class IntegralImage {
 
   /// Builds the table from an extractor functor mapping (x, y) → double.
   template <typename Fn>
-  IntegralImage(int width, int height, Fn&& value_at)
-      : width_(width), height_(height), table_((width + 1) * static_cast<std::size_t>(height + 1)) {
+  IntegralImage(int width, int height, Fn&& value_at) {
+    assign(width, height, std::forward<Fn>(value_at));
+  }
+
+  /// Rebuilds the table in place, reusing the existing storage when capacity
+  /// allows. Same recurrence as the constructor, so the resulting sums are
+  /// bit-identical to a freshly built table.
+  template <typename Fn>
+  void assign(int width, int height, Fn&& value_at) {
+    width_ = width;
+    height_ = height;
+    table_.assign((width + 1) * static_cast<std::size_t>(height + 1), 0.0);
     for (int y = 0; y < height; ++y) {
       double row_sum = 0.0;
       for (int x = 0; x < width; ++x) {
@@ -33,6 +44,22 @@ class IntegralImage {
 
   /// Inclusive-rectangle sum over [x0, x1] × [y0, y1]; clamps to the image.
   double sum(int x0, int y0, int x1, int y1) const;
+
+  /// Resizes to a zeroed (width+1) × (height+1) table and returns its raw
+  /// storage, for external row-major filling with the same recurrence as
+  /// assign() (the FrameWorkspace fused RGB builder). Row y of the source
+  /// lands at raw()[(y+1) * stride() + x + 1].
+  double* raw_prepare(int width, int height) {
+    width_ = width;
+    height_ = height;
+    table_.assign((width + 1) * static_cast<std::size_t>(height + 1), 0.0);
+    return table_.data();
+  }
+
+  /// Raw table access for clamp-free interior window sums; entries are laid
+  /// out as described at raw_prepare().
+  const double* raw() const { return table_.data(); }
+  std::size_t stride() const { return static_cast<std::size_t>(width_) + 1; }
 
   /// Mean of the window centred at (x, y) with side `n` (odd), clamped at
   /// image borders (the divisor is the clamped area, so border means stay

@@ -1,5 +1,7 @@
 #include "imaging/morphology.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -53,40 +55,82 @@ BinaryImage open(const BinaryImage& img, Structuring se) { return dilate(erode(i
 BinaryImage close(const BinaryImage& img, Structuring se) { return erode(dilate(img, se), se); }
 
 BinaryImage fill_holes(const BinaryImage& img) {
+  BinaryImage reached;
+  std::vector<std::uint32_t> stack;
+  BinaryImage out;
+  fill_holes_into(img, reached, stack, out);
+  return out;
+}
+
+void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
+                     std::vector<std::uint32_t>& stack, BinaryImage& out) {
   const int w = img.width();
   const int h = img.height();
+  out.resize_discard(w, h);
+  if (w == 0 || h == 0) return;
   // Flood the background from the border (4-connectivity keeps diagonal
   // silhouette boundaries watertight), then invert what was not reached.
-  BinaryImage reached(w, h, 0);
-  std::vector<PointI> stack;
-  auto push_if_bg = [&](int x, int y) {
-    if (x >= 0 && x < w && y >= 0 && y < h && !img.at(x, y) && !reached.at(x, y)) {
-      reached.at(x, y) = 1;
-      stack.push_back({x, y});
+  //
+  // The flood runs on a "closed" map padded by two cells per side: the
+  // outermost ring is pre-closed sentinel (so neighbour indices never leave
+  // the array), the next ring is open border the flood is seeded from, and
+  // interior cells start closed iff the corresponding pixel is foreground.
+  // Flood order does not affect the reached set, so the filled result is
+  // identical to the original per-pixel flood.
+  const int pw = w + 4;
+  const int ph = h + 4;
+  reached.resize_discard(pw, ph);  // holds the closed map, not plain reach
+  std::uint8_t* closed = reached.data().data();
+  const std::uint8_t* src = img.data().data();
+  for (int py = 0; py < ph; ++py) {
+    std::uint8_t* row = closed + static_cast<std::size_t>(py) * pw;
+    if (py == 0 || py == ph - 1) {
+      std::fill(row, row + pw, 1);
+      continue;
     }
-  };
-  for (int x = 0; x < w; ++x) {
-    push_if_bg(x, 0);
-    push_if_bg(x, h - 1);
+    row[0] = 1;
+    row[pw - 1] = 1;
+    if (py == 1 || py == ph - 2) {
+      std::fill(row + 1, row + pw - 1, 0);
+      continue;
+    }
+    row[1] = 0;
+    row[pw - 2] = 0;
+    // Any nonzero source byte closes the cell, so the row copies verbatim.
+    std::memcpy(row + 2, src + static_cast<std::size_t>(py - 2) * w, static_cast<std::size_t>(w));
   }
-  for (int y = 0; y < h; ++y) {
-    push_if_bg(0, y);
-    push_if_bg(w - 1, y);
+  // Seed: the open border ring (row 1, row ph-2, columns 1 and pw-2).
+  stack.clear();
+  for (int x = 1; x < pw - 1; ++x) {
+    stack.push_back(static_cast<std::uint32_t>(pw + x));
+    stack.push_back(static_cast<std::uint32_t>((ph - 2) * pw + x));
   }
+  for (int y = 2; y < ph - 2; ++y) {
+    stack.push_back(static_cast<std::uint32_t>(y * pw + 1));
+    stack.push_back(static_cast<std::uint32_t>(y * pw + pw - 2));
+  }
+  for (const std::uint32_t idx : stack) closed[idx] = 1;
   while (!stack.empty()) {
-    const PointI p = stack.back();
+    const std::uint32_t idx = stack.back();
     stack.pop_back();
-    for (const PointI& d : kNeighbours4) {
-      push_if_bg(p.x + d.x, p.y + d.y);
+    const std::uint32_t nbrs[4] = {idx - 1, idx + 1, idx - static_cast<std::uint32_t>(pw),
+                                   idx + static_cast<std::uint32_t>(pw)};
+    for (const std::uint32_t nidx : nbrs) {
+      if (!closed[nidx]) {
+        closed[nidx] = 1;
+        stack.push_back(nidx);
+      }
     }
   }
-  BinaryImage out(w, h);
+  // A background pixel still open is an interior hole: fill it.
+  std::uint8_t* dst = out.data().data();
   for (int y = 0; y < h; ++y) {
+    const std::uint8_t* src_row = src + static_cast<std::size_t>(y) * w;
+    const std::uint8_t* closed_row = closed + static_cast<std::size_t>(y + 2) * pw + 2;
     for (int x = 0; x < w; ++x) {
-      out.at(x, y) = (img.at(x, y) || !reached.at(x, y)) ? 1 : 0;
+      *dst++ = (src_row[x] || !closed_row[x]) ? 1 : 0;
     }
   }
-  return out;
 }
 
 }  // namespace slj

@@ -3,6 +3,9 @@
 // filling.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "imaging/image.hpp"
 
 namespace slj {
@@ -22,5 +25,13 @@ BinaryImage close(const BinaryImage& img, Structuring se = Structuring::kSquare8
 /// Fills interior holes: every background region not connected (4-conn) to
 /// the image border becomes foreground.
 BinaryImage fill_holes(const BinaryImage& img);
+
+/// Allocation-free variant: the border flood runs on `reached`/`stack`
+/// scratch and the result lands in `out`, all reusing their storage.
+/// Considerably faster than fill_holes: the flood walks a sentinel-padded
+/// closed map with raw indices, so the inner loop has no bounds checks.
+/// `out` must not alias `img`.
+void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
+                     std::vector<std::uint32_t>& stack, BinaryImage& out);
 
 }  // namespace slj

@@ -3,19 +3,42 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "imaging/connected.hpp"
 #include "imaging/filters.hpp"
 #include "imaging/morphology.hpp"
 
 namespace slj::seg {
+namespace {
 
-ObjectExtractor::ObjectExtractor(ExtractorParams params)
-    : params_(params), background_(params.window) {
+void validate(const ExtractorParams& params) {
+  if (params.window < 1 || params.window % 2 == 0) {
+    throw std::invalid_argument("ExtractorParams.window (the paper's n) must be odd and >= 1; got " +
+                                std::to_string(params.window));
+  }
   if (params.median_window < 1 || params.median_window % 2 == 0) {
-    throw std::invalid_argument("median window must be odd and >= 1");
+    throw std::invalid_argument("ExtractorParams.median_window must be odd and >= 1; got " +
+                                std::to_string(params.median_window));
+  }
+  if (params.th_object < 0 || params.th_object > 255) {
+    throw std::invalid_argument(
+        "ExtractorParams.th_object must be in [0, 255] (it thresholds the normalized "
+        "8-bit difference); got " +
+        std::to_string(params.th_object));
+  }
+  if (!(params.min_max_difference >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument("ExtractorParams.min_max_difference must be >= 0; got " +
+                                std::to_string(params.min_max_difference));
   }
 }
+
+}  // namespace
+
+// validate() runs inside the first initializer so an invalid window is
+// reported with the ExtractorParams message, not BackgroundModel's.
+ObjectExtractor::ObjectExtractor(ExtractorParams params)
+    : params_((validate(params), params)), background_(params.window) {}
 
 void ObjectExtractor::set_background(const RgbImage& background) {
   background_.set_background(background);
@@ -55,12 +78,15 @@ ExtractionResult ObjectExtractor::extract(const RgbImage& frame) const {
   res.max_difference = max_d;
 
   // Steps vi–vii: shift so max(D) = 255, clamp negatives to zero. If the
-  // scene differs nowhere (max_d = 0) everything stays background.
+  // scene differs nowhere (max_d = 0), or differs by less than the noise
+  // floor (rescaling would only amplify sensor noise into a phantom
+  // silhouette), everything stays background.
+  const bool scene_changed = max_d > 0.0 && max_d >= params_.min_max_difference;
   const double shift = max_d - 255.0;
   res.normalized = GrayImage(w, h);
   res.raw_mask = BinaryImage(w, h);
   for (std::size_t i = 0; i < res.normalized.size(); ++i) {
-    const double r = max_d > 0.0 ? res.difference.data()[i] - shift : 0.0;
+    const double r = scene_changed ? res.difference.data()[i] - shift : 0.0;
     const double clamped = std::clamp(r, 0.0, 255.0);
     res.normalized.data()[i] = static_cast<std::uint8_t>(std::lround(clamped));
     // Step viii: threshold at Th_Object.
@@ -75,6 +101,99 @@ ExtractionResult ObjectExtractor::extract(const RgbImage& frame) const {
   if (params_.fill_holes) cleaned = fill_holes(cleaned);
   res.silhouette = std::move(cleaned);
   return res;
+}
+
+double ObjectExtractor::extract_into(const RgbImage& frame, FrameWorkspace& ws,
+                                     BinaryImage& silhouette_out) const {
+  if (!background_.has_background()) {
+    throw std::logic_error("ObjectExtractor: background not set");
+  }
+  if (frame.width() != background_.width() || frame.height() != background_.height()) {
+    throw std::invalid_argument("frame size differs from background");
+  }
+  const RgbMeans& bave = background_.averaged();
+  // Steps ii–v fused: the frame's windowed means are read straight off the
+  // summed-area tables while the difference image is written, so the Aave
+  // planes are never materialised. Interior pixels (all but a `half`-wide
+  // border) take the clamp-free table path; both paths produce the exact
+  // doubles window_mean_rgb would.
+  build_rgb_integrals(frame, ws);
+
+  const int w = frame.width();
+  const int h = frame.height();
+  const int half = params_.window / 2;
+  const double area = static_cast<double>(params_.window) * static_cast<double>(params_.window);
+  const double* tr = ws.integral_r.raw();
+  const double* tg = ws.integral_g.raw();
+  const double* tb = ws.integral_b.raw();
+  const std::size_t stride = ws.integral_r.stride();
+  const double* br = bave.r.data().data();
+  const double* bg = bave.g.data().data();
+  const double* bb = bave.b.data().data();
+  ws.difference.resize_discard(w, h);
+  double* diff = ws.difference.data().data();
+  double max_d = 0.0;
+  std::size_t i = 0;
+  const auto clamped_pixel = [&](int x, int y) {
+    const double mr = ws.integral_r.window_mean(x, y, params_.window);
+    const double mg = ws.integral_g.window_mean(x, y, params_.window);
+    const double mb = ws.integral_b.window_mean(x, y, params_.window);
+    const double d = std::abs(mr - br[i]) + std::abs(mg - bg[i]) + std::abs(mb - bb[i]);
+    diff[i] = d;
+    max_d = std::max(max_d, d);
+    ++i;
+  };
+  for (int y = 0; y < h; ++y) {
+    if (y < half || y + half >= h) {
+      for (int x = 0; x < w; ++x) clamped_pixel(x, y);
+      continue;
+    }
+    int x = 0;
+    for (; x < half && x < w; ++x) clamped_pixel(x, y);
+    // Branch-free interior segment: tight enough for the compiler to
+    // vectorise the three divisions per pixel.
+    for (const int x_end = w - half; x < x_end; ++x, ++i) {
+      const double mr = interior_window_mean(tr, stride, x, y, half, area);
+      const double mg = interior_window_mean(tg, stride, x, y, half, area);
+      const double mb = interior_window_mean(tb, stride, x, y, half, area);
+      const double d = std::abs(mr - br[i]) + std::abs(mg - bg[i]) + std::abs(mb - bb[i]);
+      diff[i] = d;
+      max_d = std::max(max_d, d);
+    }
+    for (; x < w; ++x) clamped_pixel(x, y);
+  }
+
+  // Steps vi–viii fused without materialising the rounded 8-bit image:
+  // lround(clamped) > th  ⇔  clamped >= th + 0.5 (lround rounds half away
+  // from zero and clamped is non-negative), and th + 0.5 is exact in double,
+  // so the mask is bit-identical to extract()'s threshold of `normalized`.
+  const bool scene_changed = max_d > 0.0 && max_d >= params_.min_max_difference;
+  const double shift = max_d - 255.0;
+  const double mask_threshold = static_cast<double>(params_.th_object) + 0.5;
+  ws.raw_mask.resize_discard(w, h);
+  std::uint8_t* mask = ws.raw_mask.data().data();
+  if (scene_changed) {
+    for (std::size_t k = 0; k < ws.raw_mask.size(); ++k) {
+      const double clamped = std::clamp(diff[k] - shift, 0.0, 255.0);
+      mask[k] = clamped >= mask_threshold ? 1 : 0;
+    }
+  } else {
+    std::fill(mask, mask + ws.raw_mask.size(), 0);
+  }
+
+  median_filter_binary_into(ws.raw_mask, params_.median_window, ws.mask_integral, ws.smoothed);
+
+  const BinaryImage* cleaned = &ws.smoothed;
+  if (params_.keep_largest_only) {
+    largest_component_into(*cleaned, true, ws.labeling, ws.pixel_stack, ws.largest);
+    cleaned = &ws.largest;
+  }
+  if (params_.fill_holes) {
+    fill_holes_into(*cleaned, ws.reached, ws.flood_stack, silhouette_out);
+  } else {
+    silhouette_out = *cleaned;
+  }
+  return max_d;
 }
 
 BinaryImage ObjectExtractor::silhouette(const RgbImage& frame) const {

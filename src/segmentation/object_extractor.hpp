@@ -5,15 +5,21 @@
 
 #include <cstdint>
 
+#include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
 #include "segmentation/background_model.hpp"
 
 namespace slj::seg {
 
 struct ExtractorParams {
-  int window = 3;              ///< the paper's n (moving-window side)
-  std::uint8_t th_object = 20; ///< the paper's Th_Object
-  int median_window = 5;       ///< silhouette smoothing window (Fig. 1c)
+  int window = 3;              ///< the paper's n (moving-window side), odd >= 1
+  int th_object = 20;          ///< the paper's Th_Object, in [0, 255]
+  int median_window = 5;       ///< silhouette smoothing window (Fig. 1c), odd >= 1
+  /// Noise floor for the max-shift normalization (steps vi–vii). The paper
+  /// rescales so max(D) = 255; on a frame where nothing moved that would
+  /// amplify sensor noise into a phantom silhouette. When max(D) falls below
+  /// this floor the scene is treated as unchanged and the mask stays empty.
+  double min_max_difference = 12.0;
   bool keep_largest_only = true;
   bool fill_holes = true;
 };
@@ -44,6 +50,17 @@ class ObjectExtractor {
 
   /// Runs steps ii–viii plus smoothing on one frame.
   ExtractionResult extract(const RgbImage& frame) const;
+
+  /// Allocation-free fast path: same algorithm, but every intermediate lives
+  /// in the workspace (difference in ws.difference, raw mask in ws.raw_mask,
+  /// smoothed in ws.smoothed; the figure-grade `normalized` image is skipped
+  /// — the mask thresholds the difference directly, provably the same bits)
+  /// and the final silhouette is written to `silhouette_out`. At steady
+  /// state — same-sized frames through the same workspace — no full-frame
+  /// buffer is heap-allocated. Output is bit-identical to extract(). Returns
+  /// max(D) (step v), which extract() reports as max_difference.
+  double extract_into(const RgbImage& frame, FrameWorkspace& ws,
+                      BinaryImage& silhouette_out) const;
 
   /// Shortcut returning only the final silhouette.
   BinaryImage silhouette(const RgbImage& frame) const;

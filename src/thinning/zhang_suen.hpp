@@ -12,6 +12,7 @@
 // (handled by skelgraph).
 #pragma once
 
+#include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
 
 namespace slj::thin {
@@ -24,6 +25,21 @@ struct ThinningStats {
 /// Thins `img` (0/1 mask) to a one-pixel-wide skeleton. `stats`, when given,
 /// receives iteration telemetry for the perf benches.
 BinaryImage zhang_suen_thin(const BinaryImage& img, ThinningStats* stats = nullptr);
+
+/// Allocation-free fast path used by the per-frame pipeline: thins `img`
+/// into `out` using the workspace's frontier scratch. Two optimisations over
+/// zhang_suen_thin, neither changing a single output bit (the parity suite
+/// pins this):
+///  - interior pixels read their 3×3 ring with direct row-pointer loads
+///    instead of at_or bounds checks (only the one-pixel border pays them);
+///  - after the first full pass, a sub-iteration only revisits pixels whose
+///    3×3 neighbourhood was touched by a deletion since that pixel was last
+///    evaluated for that sub-iteration type. Any other pixel provably keeps
+///    its previous (non-deletable) answer, so later passes cost O(frontier)
+///    instead of O(W·H).
+/// `out` must not alias `img`. Stats match zhang_suen_thin exactly.
+void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& ws, BinaryImage& out,
+                          ThinningStats* stats = nullptr);
 
 /// One full Zhang–Suen pass (both sub-iterations) in place. Returns pixels
 /// removed. Exposed for tests pinning per-pass behaviour.

@@ -68,5 +68,62 @@ TEST(GroundMonitor, DescendingBelowGroundLineNeverAirborne) {
   EXPECT_FALSE(monitor.airborne(200));
 }
 
+TEST(GroundMonitor, NoisyFirstFrameNoLongerFlagsWholeClipAirborne) {
+  // The seed bug: calibration used only the *first* visible bottom row, so
+  // one under-segmented first frame (legs clipped → bottom row too high)
+  // made every later standing frame read as airborne. Calibration now spans
+  // the first K grounded frames taking the max (lowest point) of their
+  // bottom rows.
+  GroundMonitor monitor(3, /*calibration_frames=*/5);
+  EXPECT_FALSE(monitor.airborne(80));  // noisy first frame: legs clipped
+  // The jumper is actually standing with feet at row 100.
+  EXPECT_FALSE(monitor.airborne(100));
+  EXPECT_EQ(monitor.ground_row(), 100);  // calibration recovered
+  EXPECT_FALSE(monitor.airborne(100));
+  EXPECT_FALSE(monitor.airborne(99));
+  // A genuine lift is still detected against the corrected line.
+  EXPECT_TRUE(monitor.airborne(90));
+}
+
+TEST(GroundMonitor, CalibrationWindowCloses) {
+  GroundMonitor monitor(3, /*calibration_frames=*/2);
+  EXPECT_FALSE(monitor.airborne(100));
+  EXPECT_FALSE(monitor.airborne(100));
+  // Window consumed: a later deeper row (crouch past the line, or a shadow)
+  // no longer drags the calibration down.
+  EXPECT_FALSE(monitor.airborne(140));
+  EXPECT_EQ(monitor.ground_row(), 100);
+}
+
+TEST(GroundMonitor, AirborneFramesDoNotConsumeCalibration) {
+  // A jump that starts inside the calibration window must not freeze the
+  // window: flight frames are skipped, later grounded frames still refine.
+  GroundMonitor monitor(3, /*calibration_frames=*/3);
+  EXPECT_FALSE(monitor.airborne(98));   // slightly clipped first frame
+  EXPECT_TRUE(monitor.airborne(80));    // take-off
+  EXPECT_TRUE(monitor.airborne(70));
+  EXPECT_EQ(monitor.ground_row(), 98);  // flight did not move the line
+  EXPECT_FALSE(monitor.airborne(100));  // landing, deeper than frame 0
+  EXPECT_EQ(monitor.ground_row(), 100);
+  EXPECT_FALSE(monitor.airborne(101));  // third grounded frame closes it
+  EXPECT_FALSE(monitor.airborne(140));
+  EXPECT_EQ(monitor.ground_row(), 101);
+}
+
+TEST(GroundMonitor, ResetReopensCalibrationWindow) {
+  GroundMonitor monitor(3, /*calibration_frames=*/2);
+  monitor.airborne(100);
+  monitor.airborne(100);
+  monitor.reset();
+  EXPECT_FALSE(monitor.airborne(50));
+  EXPECT_FALSE(monitor.airborne(60));
+  EXPECT_EQ(monitor.ground_row(), 60);
+}
+
+TEST(GroundMonitor, RejectsNonPositiveCalibrationWindow) {
+  EXPECT_THROW(GroundMonitor(3, 0), std::invalid_argument);
+  EXPECT_THROW(GroundMonitor(3, -2), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace slj::core

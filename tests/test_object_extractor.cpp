@@ -55,6 +55,76 @@ TEST(ObjectExtractor, RejectsEvenMedianWindow) {
   EXPECT_THROW(ObjectExtractor{params}, std::invalid_argument);
 }
 
+TEST(ObjectExtractor, RejectsInvalidWindow) {
+  for (const int window : {0, -1, 2, 4}) {
+    ExtractorParams params;
+    params.window = window;
+    EXPECT_THROW(ObjectExtractor{params}, std::invalid_argument) << "window " << window;
+  }
+}
+
+TEST(ObjectExtractor, RejectsOutOfRangeThObject) {
+  for (const int th : {-1, 256, 1000}) {
+    ExtractorParams params;
+    params.th_object = th;
+    EXPECT_THROW(ObjectExtractor{params}, std::invalid_argument) << "th_object " << th;
+  }
+  // Boundary values are legal.
+  ExtractorParams lo;
+  lo.th_object = 0;
+  EXPECT_NO_THROW(ObjectExtractor{lo});
+  ExtractorParams hi;
+  hi.th_object = 255;
+  EXPECT_NO_THROW(ObjectExtractor{hi});
+}
+
+TEST(ObjectExtractor, RejectsNegativeNoiseFloor) {
+  ExtractorParams params;
+  params.min_max_difference = -1.0;
+  EXPECT_THROW(ObjectExtractor{params}, std::invalid_argument);
+}
+
+TEST(ObjectExtractor, NoiseFloorSuppressesPhantomSilhouette) {
+  // A near-static scene: the frame differs from the background by a few
+  // grey levels of sensor noise only. Without the noise floor the max-shift
+  // normalization rescales that noise so its peak hits 255 and a phantom
+  // blob crosses Th_Object.
+  const RgbImage bg = studio_background(32, 32);
+  RgbImage frame = bg;
+  for (int y = 10; y < 16; ++y) {
+    for (int x = 10; x < 16; ++x) {
+      frame.at(x, y) = {static_cast<std::uint8_t>(bg.at(x, y).r + 3), bg.at(x, y).g,
+                        bg.at(x, y).b};
+    }
+  }
+  ObjectExtractor ex;  // default min_max_difference = 12
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+  EXPECT_GT(res.max_difference, 0.0);
+  EXPECT_LT(res.max_difference, ex.params().min_max_difference);
+  EXPECT_EQ(count_foreground(res.raw_mask), 0u) << "noise was rescaled into a phantom mask";
+  EXPECT_EQ(count_foreground(res.silhouette), 0u);
+
+  // The same noise pattern with the floor disabled reproduces the old
+  // behaviour — a phantom silhouette — pinning that the guard is what
+  // suppresses it.
+  ExtractorParams no_floor;
+  no_floor.min_max_difference = 0.0;
+  ObjectExtractor ex_off(no_floor);
+  ex_off.set_background(bg);
+  EXPECT_GT(count_foreground(ex_off.extract(frame).raw_mask), 0u);
+}
+
+TEST(ObjectExtractor, NoiseFloorKeepsRealObjects) {
+  const RgbImage bg = studio_background(48, 48);
+  const RgbImage frame = with_object(bg, {24, 24}, 10.0);
+  ObjectExtractor ex;
+  ex.set_background(bg);
+  const ExtractionResult res = ex.extract(frame);
+  EXPECT_GE(res.max_difference, ex.params().min_max_difference);
+  EXPECT_GT(count_foreground(res.silhouette), 0u);
+}
+
 TEST(ObjectExtractor, IdenticalFrameYieldsEmptyMask) {
   const RgbImage bg = studio_background(16, 16);
   ObjectExtractor ex;
