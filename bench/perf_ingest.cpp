@@ -1,0 +1,152 @@
+// P5 — async ingest plane: sustained multi-camera ingest through the
+// IngestService (bounded per-session queues + scheduler thread) at
+// increasing session counts. Producer threads push frames at a fixed
+// offered rate — camera-style, not lockstep — and the plane's own telemetry
+// reports what a coach-side operator cares about: delivered throughput,
+// drop rate under the drop-oldest policy, and end-to-end enqueue->sink
+// latency (p50/p99). The run also cross-checks the drop accounting: after
+// a flush, every admitted frame must be either delivered or an accounted
+// drop. With --json FILE, the rows are written as a JSON document
+// (consumed by scripts/bench.sh to assemble BENCH_pr5.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ingest/ingest_service.hpp"
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+struct IngestRow {
+  std::size_t sessions = 0;
+  double offered_fps = 0.0;    // per session
+  double delivered_fps = 0.0;  // whole plane
+  double drop_pct = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  bool accounting_exact = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slj;
+  const char* json_path = nullptr;
+  double seconds = 2.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--seconds") == 0) seconds = std::atof(argv[i + 1]);
+  }
+  bench::print_header("P5  async ingest: sustained multi-camera feeds through IngestService",
+                      "production scale: many cameras pushing at sensor rate");
+
+  const synth::Dataset dataset = bench::paper_corpus();
+  const std::vector<synth::Clip>& clips = dataset.test;
+  const pose::PoseDbnClassifier classifier;  // untrained: same per-frame cost
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double offered_fps = 60.0;  // a common camera rate, per session
+  std::printf("corpus: %zu clips; hardware concurrency: %u; offered rate %.0f fps/session; "
+              "%.1f s per row\n\n",
+              clips.size(), hw, offered_fps, seconds);
+
+  std::vector<IngestRow> rows;
+  for (const std::size_t sessions : {std::size_t{1}, std::size_t{8}, std::size_t{16}}) {
+    ingest::IngestServiceConfig config;
+    config.manager.workers = hw;
+    ingest::IngestService service(classifier, {}, config);
+
+    ingest::IngestSessionConfig session_config;
+    session_config.queue.capacity = 4;
+    session_config.queue.policy = ingest::BackpressurePolicy::kDropOldest;
+    std::vector<int> ids;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      ids.push_back(service.open_session(clips[s % clips.size()].background, session_config));
+    }
+    service.start();
+
+    const auto deadline = WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                                                 std::chrono::duration<double>(seconds));
+    const auto period = std::chrono::duration_cast<WallClock::duration>(
+        std::chrono::duration<double>(1.0 / offered_fps));
+    std::vector<std::thread> producers;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      producers.emplace_back([&, s] {
+        const synth::Clip& clip = clips[s % clips.size()];
+        std::size_t frame = s;  // stagger the feeds
+        // Absolute-time pacing: a slow push does not slip the schedule, so
+        // the offered rate stays honest even when the plane is saturated.
+        auto next = WallClock::now();
+        while (next < deadline) {
+          service.push(ids[s], clip.frames[frame % clip.frames.size()]);
+          ++frame;
+          next += period;
+          std::this_thread::sleep_until(next);
+        }
+      });
+    }
+    const auto start = WallClock::now();
+    for (std::thread& t : producers) t.join();
+    service.flush();
+    const double elapsed = std::chrono::duration<double>(WallClock::now() - start).count();
+
+    const ingest::IngestMetricsSnapshot snap = service.metrics();
+    IngestRow row;
+    row.sessions = sessions;
+    row.offered_fps = offered_fps;
+    row.delivered_fps = static_cast<double>(snap.delivered) / elapsed;
+    row.drop_pct = snap.pushed > 0
+                       ? 100.0 * static_cast<double>(snap.dropped_oldest) /
+                             static_cast<double>(snap.pushed)
+                       : 0.0;
+    row.p50_ms = snap.latency_p50_ms;
+    row.p99_ms = snap.latency_p99_ms;
+    row.max_ms = snap.latency_max_ms;
+    // After the flush the queues are empty, so the books must balance to
+    // the frame: admitted == delivered + shed-by-drop-oldest + discarded.
+    row.accounting_exact =
+        snap.pushed == snap.delivered + snap.dropped_oldest + snap.discarded;
+    rows.push_back(row);
+    std::printf("ingest, %2zu sessions @ %.0f fps   delivered %7.1f frames/s   drop %5.1f%%   "
+                "latency p50 %6.2f ms  p99 %6.2f ms   accounting %s\n",
+                sessions, offered_fps, row.delivered_fps, row.drop_pct, row.p50_ms, row.p99_ms,
+                row.accounting_exact ? "exact" : "MISMATCH");
+
+    for (const int id : ids) service.close_session(id);
+    service.stop();
+  }
+  bench::print_rule();
+
+  bool all_exact = true;
+  for (const IngestRow& row : rows) all_exact = all_exact && row.accounting_exact;
+  std::printf("drop accounting %s across all rows\n", all_exact ? "exact" : "MISMATCH");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"seconds_per_row\": %.1f,\n", hw,
+                 seconds);
+    std::fprintf(f, "  \"ingest\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const IngestRow& row = rows[i];
+      std::fprintf(f,
+                   "    {\"sessions\": %zu, \"offered_fps_per_session\": %.1f, "
+                   "\"delivered_frames_per_s\": %.1f, \"drop_pct\": %.2f, "
+                   "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+                   "\"latency_max_ms\": %.3f, \"accounting_exact\": %s}%s\n",
+                   row.sessions, row.offered_fps, row.delivered_fps, row.drop_pct, row.p50_ms,
+                   row.p99_ms, row.max_ms, row.accounting_exact ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return all_exact ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 //   sljtool analyze  --model FILE --clip DIR     poses + coaching + score
 //   sljtool evaluate --model FILE --data DIR     per-clip accuracy
 //   sljtool stream   --model FILE --clip DIR     replay the clip as live feeds
+//   sljtool serve    [--sessions N] [...]        async ingest service demo
 //
 // Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
 // manifest.txt) — real footage can be dropped in the same layout.
@@ -15,12 +16,18 @@
 // pushes the clip one frame at a time through StreamManager sessions —
 // simulated concurrent cameras — printing advice the moment a
 // movement-standard rule resolves, and verifies the live results against
-// the batch decoder.
+// the batch decoder. serve goes fully asynchronous: N producer threads
+// push frames at a jittery camera cadence into the IngestService's bounded
+// per-session queues while the scheduler drains, analyses and delivers,
+// with the live telemetry table refreshed as it runs.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/clip_engine.hpp"
@@ -28,8 +35,10 @@
 #include "core/scoring.hpp"
 #include "core/stream_engine.hpp"
 #include "core/trainer.hpp"
+#include "ingest/ingest_service.hpp"
 #include "pose/decoders.hpp"
 #include "synth/clip_io.hpp"
+#include "synth/dataset.hpp"
 
 namespace {
 
@@ -216,6 +225,161 @@ int cmd_stream(const std::map<std::string, std::string>& flags) {
   return mismatches == 0 ? 0 : 1;
 }
 
+long long_flag(const std::map<std::string, std::string>& flags, const std::string& key,
+               long fallback, long lo, long hi) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  long value = lo - 1;
+  try {
+    value = std::stol(it->second);
+  } catch (const std::exception&) {
+  }
+  if (value < lo || value > hi) {
+    throw std::runtime_error("--" + key + " must be an integer in [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + "], got '" + it->second + "'");
+  }
+  return value;
+}
+
+double double_flag(const std::map<std::string, std::string>& flags, const std::string& key,
+                   double fallback, double lo, double hi) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  double value = lo - 1.0;
+  try {
+    value = std::stod(it->second);
+  } catch (const std::exception&) {
+  }
+  if (value < lo || value > hi) {
+    throw std::runtime_error("--" + key + " must be in [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + "], got '" + it->second + "'");
+  }
+  return value;
+}
+
+void print_serve_table(const ingest::IngestMetricsSnapshot& snap, double elapsed_s) {
+  std::printf(
+      "t=%5.1fs  pushed %6llu  delivered %6llu  dropped %5llu  rejected %5llu  "
+      "limited %5llu  depth %3zu (deepest queue %zu)  p50 %6.2f ms  p99 %6.2f ms\n",
+      elapsed_s, static_cast<unsigned long long>(snap.pushed),
+      static_cast<unsigned long long>(snap.delivered),
+      static_cast<unsigned long long>(snap.dropped_oldest),
+      static_cast<unsigned long long>(snap.rejected),
+      static_cast<unsigned long long>(snap.rate_limited), snap.queue_depth, snap.queue_depth_peak,
+      snap.latency_p50_ms, snap.latency_p99_ms);
+}
+
+// serve: the push-based service end to end. N producer threads play jittery
+// cameras — each pushes the clip's frames (cycled) at its target fps with
+// per-frame timing noise — against the IngestService's bounded queues while
+// the scheduler thread drains, analyses and delivers. The telemetry table
+// refreshes twice a second; the final snapshot is printed as JSON.
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  pose::PoseDbnClassifier classifier;  // untrained by default: same frame cost
+  if (const auto it = flags.find("model"); it != flags.end()) classifier = load_model(it->second);
+  synth::Clip clip;
+  if (const auto it = flags.find("clip"); it != flags.end()) {
+    clip = synth::load_clip(it->second);
+  } else {
+    synth::ClipSpec spec;
+    spec.seed = static_cast<std::uint32_t>(long_flag(flags, "seed", 2008, 1, 1u << 30));
+    clip = synth::generate_clip(spec);
+  }
+
+  const long sessions = long_flag(flags, "sessions", 4, 1, 1024);
+  const double seconds = double_flag(flags, "seconds", 4.0, 0.1, 3600.0);
+  const double fps = double_flag(flags, "fps", 60.0, 1.0, 10000.0);
+  const double jitter = double_flag(flags, "jitter", 0.5, 0.0, 1.0);
+
+  ingest::IngestServiceConfig config;
+  config.manager.workers = static_cast<unsigned>(long_flag(flags, "workers", 0, 0, 1024));
+  ingest::IngestSessionConfig session_config;
+  session_config.queue.capacity =
+      static_cast<std::size_t>(long_flag(flags, "capacity", 8, 1, 4096));
+  session_config.queue.rate.tokens_per_second = double_flag(flags, "rate", 0.0, 0.0, 1e6);
+  session_config.queue.rate.burst = double_flag(flags, "burst", 4.0, 1.0, 4096.0);
+  if (const auto it = flags.find("policy"); it != flags.end()) {
+    if (it->second == "block") {
+      session_config.queue.policy = ingest::BackpressurePolicy::kBlock;
+    } else if (it->second == "drop-oldest") {
+      session_config.queue.policy = ingest::BackpressurePolicy::kDropOldest;
+    } else if (it->second == "reject-newest") {
+      session_config.queue.policy = ingest::BackpressurePolicy::kRejectNewest;
+    } else {
+      throw std::runtime_error(
+          "--policy must be 'block', 'drop-oldest' or 'reject-newest', got '" + it->second + "'");
+    }
+  }
+
+  ingest::IngestService service(classifier, {}, config);
+  std::vector<int> ids;
+  for (long s = 0; s < sessions; ++s) {
+    ids.push_back(service.open_session(clip.background, session_config));
+  }
+  std::printf("serving %ld jittery %.0f fps camera%s (policy %s, queue capacity %zu%s) "
+              "for %.1f s...\n\n",
+              sessions, fps, sessions == 1 ? "" : "s",
+              ingest::policy_name(session_config.queue.policy), session_config.queue.capacity,
+              session_config.queue.rate.tokens_per_second > 0.0 ? ", rate-limited" : "",
+              seconds);
+  service.start();
+
+  using WallClock = std::chrono::steady_clock;
+  const auto start = WallClock::now();
+  const auto deadline = start + std::chrono::duration_cast<WallClock::duration>(
+                                    std::chrono::duration<double>(seconds));
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    producers.emplace_back([&, s] {
+      std::mt19937 rng(static_cast<std::uint32_t>(1000 + s));
+      std::uniform_real_distribution<double> noise(1.0 - jitter, 1.0 + jitter);
+      const double period_s = 1.0 / fps;
+      std::size_t frame = s;  // stagger the feeds
+      while (WallClock::now() < deadline) {
+        service.push(ids[s], clip.frames[frame % clip.frames.size()]);
+        ++frame;
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<WallClock::duration>(
+                std::chrono::duration<double>(period_s * noise(rng))));
+      }
+    });
+  }
+
+  while (WallClock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    print_serve_table(service.metrics(),
+                      std::chrono::duration<double>(WallClock::now() - start).count());
+  }
+  for (std::thread& t : producers) t.join();
+  service.flush();
+
+  const ingest::IngestMetricsSnapshot snap = service.metrics();
+  std::printf("\nper-session:\n");
+  std::printf("  id  policy         pushed  delivered  dropped  rejected  limited  fps\n");
+  for (const ingest::SessionMetricsSnapshot& row : snap.sessions) {
+    std::printf("  %2d  %-13s %7llu  %9llu  %7llu  %8llu  %7llu  %5.1f\n", row.session,
+                row.policy, static_cast<unsigned long long>(row.pushed),
+                static_cast<unsigned long long>(row.delivered),
+                static_cast<unsigned long long>(row.dropped_oldest),
+                static_cast<unsigned long long>(row.rejected),
+                static_cast<unsigned long long>(row.rate_limited), row.throughput_fps);
+  }
+  std::printf("\nfinal snapshot:\n%s\n", snap.to_json().c_str());
+  for (const int id : ids) service.close_session(id);
+  service.stop();
+
+  // Drop accounting must balance exactly: every admitted frame was either
+  // delivered to a sink or discarded by an accounted mechanism.
+  const ingest::IngestMetricsSnapshot end = service.metrics();
+  const bool balanced = end.pushed == end.delivered + end.dropped_oldest + end.discarded;
+  std::printf("accounting: pushed %llu == delivered %llu + dropped %llu + discarded %llu  [%s]\n",
+              static_cast<unsigned long long>(end.pushed),
+              static_cast<unsigned long long>(end.delivered),
+              static_cast<unsigned long long>(end.dropped_oldest),
+              static_cast<unsigned long long>(end.discarded), balanced ? "ok" : "MISMATCH");
+  return balanced ? 0 : 1;
+}
+
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
   const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
@@ -238,7 +402,11 @@ int usage() {
               "                   [--workers N] [--tracker 0|1]\n"
               "  sljtool evaluate --model FILE --data DIR [--workers N] [--tracker 0|1]\n"
               "  sljtool stream   --model FILE --clip DIR [--sessions N] [--workers N]\n"
-              "                   [--decoder online|filtering] [--tracker 0|1]\n");
+              "                   [--decoder online|filtering] [--tracker 0|1]\n"
+              "  sljtool serve    [--model FILE] [--clip DIR | --seed N] [--sessions N]\n"
+              "                   [--seconds S] [--fps F] [--jitter 0..1] [--workers N]\n"
+              "                   [--policy block|drop-oldest|reject-newest] [--capacity N]\n"
+              "                   [--rate TOKENS_PER_S] [--burst N]\n");
   return 2;
 }
 
@@ -254,6 +422,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "evaluate") return cmd_evaluate(flags);
     if (cmd == "stream") return cmd_stream(flags);
+    if (cmd == "serve") return cmd_serve(flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

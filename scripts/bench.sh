@@ -1,31 +1,36 @@
 #!/usr/bin/env bash
-# Perf trajectory: builds Release, runs the two engine benches, and emits
-# BENCH_pr4.json (frames/sec + p50/p99 per-frame latency). CI uploads the
-# file as an artifact so throughput regressions are visible PR over PR.
+# Perf trajectory: builds Release, runs the engine + ingest benches, and
+# emits BENCH_pr5.json (frames/sec, p50/p99 per-frame latency, and the
+# ingest plane's sustained throughput / drop rate / end-to-end latency).
+# CI uploads the file as an artifact so regressions are visible PR over PR.
 # Usage: scripts/bench.sh [build-dir] [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr4.json}"
+OUT="${2:-BENCH_pr5.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target perf_clip_engine perf_stream_engine
+cmake --build "$BUILD_DIR" -j --target perf_clip_engine perf_stream_engine perf_ingest
 
 CLIP_JSON="$(mktemp)"
 STREAM_JSON="$(mktemp)"
-trap 'rm -f "$CLIP_JSON" "$STREAM_JSON"' EXIT
+INGEST_JSON="$(mktemp)"
+trap 'rm -f "$CLIP_JSON" "$STREAM_JSON" "$INGEST_JSON"' EXIT
 
 "$BUILD_DIR/perf_clip_engine" --json "$CLIP_JSON"
 "$BUILD_DIR/perf_stream_engine" --json "$STREAM_JSON"
+"$BUILD_DIR/perf_ingest" --json "$INGEST_JSON"
 
 {
   echo '{'
-  echo '  "bench": "pr4-frame-workspace",'
+  echo '  "bench": "pr5-async-ingest",'
   echo '  "clip_engine":'
   sed 's/^/  /' "$CLIP_JSON" | sed '$ s/$/,/'
   echo '  "stream_engine":'
-  sed 's/^/  /' "$STREAM_JSON"
+  sed 's/^/  /' "$STREAM_JSON" | sed '$ s/$/,/'
+  echo '  "ingest_engine":'
+  sed 's/^/  /' "$INGEST_JSON"
   echo '}'
 } > "$OUT"
 

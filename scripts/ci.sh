@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan]
-#   --sanitize   Debug build with ASan+UBSan (keeps the streaming/worker-pool
-#                concurrency sanitizer-clean).
-#   --tsan       Debug build with ThreadSanitizer (pins that per-lane
-#                FrameWorkspace reuse in the engines stays data-race-free).
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress]
+#   --sanitize     Debug build with ASan+UBSan (keeps the streaming/worker-pool
+#                  concurrency sanitizer-clean).
+#   --tsan         Debug build with ThreadSanitizer (pins that per-lane
+#                  FrameWorkspace reuse in the engines stays data-race-free).
+#   --tsan-stress  TSan build of the ingest plane only, running the
+#                  multi-producer ingest stress tests repeatedly — the
+#                  dedicated race hunt for FrameQueue/IngestRouter/
+#                  IngestService under concurrent producers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
 CMAKE_ARGS=()
+MODE="full"
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
@@ -24,11 +29,27 @@ for arg in "$@"; do
         "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all"
       )
       ;;
+    --tsan-stress)
+      CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=Debug
+        "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-sanitize-recover=all"
+      )
+      MODE="tsan-stress"
+      ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
-cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
-ctest --output-on-failure -j "$(nproc)"
+if [[ "$MODE" == "tsan-stress" ]]; then
+  cmake --build "$BUILD_DIR" -j --target test_ingest
+  # Repetition is what shakes out rare interleavings: the blocked-producer
+  # wakeups, drain-vs-push races, and eviction-vs-push refusals.
+  "$BUILD_DIR/test_ingest" \
+    --gtest_filter='IngestService.MultiProducerStress*:FrameQueue.*' \
+    --gtest_repeat=5
+else
+  cmake --build "$BUILD_DIR" -j
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -51,7 +51,9 @@ void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
 void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
                                  FrameWorkspace& ws, FrameObservation& out) const {
   extractor_.extract_into(frame, ws, out.silhouette);
-  const detect::TrackResult track = tracker.update(ws.smoothed);
+  // The extractor is done with ws.labeling/pixel_stack; the tracker's
+  // component pass reuses them instead of allocating its own Labeling.
+  const detect::TrackResult track = tracker.update(ws.smoothed, ws.labeling, ws.pixel_stack);
   if (track.measured) {
     fill_holes_into(track.mask, ws.reached, ws.flood_stack, out.silhouette);
   }
@@ -63,8 +65,12 @@ void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tra
 // Stages downstream of thinning, shared by the seed and workspace paths so
 // they cannot diverge: graph cleanup, key points, candidates, bottom row.
 // Expects obs.silhouette and obs.raw_skeleton to be set.
-void FramePipeline::finish_graph_stages(FrameObservation& obs) const {
-  obs.graph = skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices, &obs.cleanup);
+void FramePipeline::finish_graph_stages(FrameObservation& obs, FrameWorkspace* ws) const {
+  obs.graph = ws != nullptr
+                  ? skel::clean_skeleton(obs.raw_skeleton, *ws, params_.min_branch_vertices,
+                                         &obs.cleanup)
+                  : skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices,
+                                         &obs.cleanup);
   if (params_.split_bends) {
     skel::split_edges_at_bends(obs.graph, params_.bend_tolerance);
   }
@@ -84,14 +90,14 @@ void FramePipeline::finish_graph_stages(FrameObservation& obs) const {
 
 void FramePipeline::finish_observation(FrameWorkspace& ws, FrameObservation& obs) const {
   thin::zhang_suen_thin_into(obs.silhouette, ws, obs.raw_skeleton);
-  finish_graph_stages(obs);
+  finish_graph_stages(obs, &ws);
 }
 
 FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette) const {
   FrameObservation obs;
   obs.silhouette = silhouette;
   obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
-  finish_graph_stages(obs);
+  finish_graph_stages(obs, nullptr);
   return obs;
 }
 

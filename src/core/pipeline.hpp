@@ -134,8 +134,10 @@ class FramePipeline {
   /// Stages after segmentation: thinning, graph cleanup, key points,
   /// candidates, bottom row. Expects out.silhouette to be set.
   void finish_observation(FrameWorkspace& ws, FrameObservation& out) const;
-  /// Stages after thinning, shared by the seed and workspace paths.
-  void finish_graph_stages(FrameObservation& out) const;
+  /// Stages after thinning, shared by the seed and workspace paths; a
+  /// non-null `ws` routes the graph build's full-frame temporaries through
+  /// the workspace (bit-identical output).
+  void finish_graph_stages(FrameObservation& out, FrameWorkspace* ws) const;
 
   PipelineParams params_;
   seg::ObjectExtractor extractor_;

@@ -1,7 +1,6 @@
 #include "core/stream_engine.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
 namespace slj::core {
@@ -61,6 +60,7 @@ int StreamManager::open_session(const RgbImage& background) {
 
 int StreamManager::open_session(const RgbImage& background, StreamSessionConfig config) {
   sessions_.push_back(std::make_unique<StreamSession>(*classifier_, background, params_, config));
+  tick_stamps_.push_back(0);
   return static_cast<int>(sessions_.size()) - 1;
 }
 
@@ -77,20 +77,32 @@ StreamUpdate StreamManager::push_frame(int session, const RgbImage& frame) {
 }
 
 std::vector<StreamUpdate> StreamManager::tick(const std::vector<Feed>& feeds) {
-  std::unordered_set<int> ids;
+  std::vector<StreamUpdate> updates;
+  tick_into(feeds, updates);
+  return updates;
+}
+
+void StreamManager::tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates) {
+  // Validate the whole batch before touching any session, so a rejected
+  // batch advances nothing (see the class contract). The stamp array makes
+  // duplicate detection allocation-free: a session already stamped with the
+  // current tick number is listed twice.
+  ++tick_serial_;
   for (const Feed& feed : feeds) {
     session_at(feed.session);  // validates the id
     if (!feed.frame) throw std::invalid_argument("tick feed has no frame");
-    if (!ids.insert(feed.session).second) {
+    std::uint64_t& stamp = tick_stamps_[static_cast<std::size_t>(feed.session)];
+    if (stamp == tick_serial_) {
       throw std::invalid_argument("session " + std::to_string(feed.session) +
-                                  " fed twice in one tick");
+                                  " fed twice in one tick (each session advances at most once "
+                                  "per tick)");
     }
+    stamp = tick_serial_;
   }
-  std::vector<StreamUpdate> updates(feeds.size());
+  updates.resize(feeds.size());
   pool_.parallel_for(feeds.size(), [&](std::size_t i) {
     updates[i] = session_at(feeds[i].session).push_frame(*feeds[i].frame);
   });
-  return updates;
 }
 
 JumpReport StreamManager::close_session(int session) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -107,11 +108,20 @@ struct StreamManagerConfig {
 };
 
 /// Multiplexes many concurrent StreamSessions over one WorkerPool.
+///
+/// Tick contract: a tick advances each *listed* session by exactly one
+/// frame. Every Feed must name an open session with a non-null frame, and a
+/// session id may appear at most once per batch — a session has one
+/// sequential decoder state, so advancing it twice in one parallel tick
+/// would race that state and make the frame order ambiguous. The whole
+/// batch is validated up front; on any violation tick()/tick_into() throw
+/// std::invalid_argument *before any session advances*, so a rejected batch
+/// leaves every session exactly where it was.
 class StreamManager {
  public:
   /// One frame of one feed inside a tick. `session` must be an open id and
   /// distinct within the batch (each session advances at most once per
-  /// tick).
+  /// tick; see the class contract above).
   struct Feed {
     int session = -1;
     const RgbImage* frame = nullptr;
@@ -129,8 +139,16 @@ class StreamManager {
 
   /// Advances every listed session by one frame, in parallel across the
   /// pool. Updates are returned in feed order. Throws std::invalid_argument
-  /// on an unknown or duplicated session id.
+  /// on an unknown or duplicated session id or a null frame, before any
+  /// session advances.
   std::vector<StreamUpdate> tick(const std::vector<Feed>& feeds);
+
+  /// Drain-batch entry point: same contract as tick(), but updates land in
+  /// `updates` (resized to feeds.size()) so a caller ticking every few
+  /// milliseconds — the ingest scheduler — reuses the buffer instead of
+  /// allocating a results vector per round. Duplicate detection runs on a
+  /// per-session stamp, so validation itself is allocation-free.
+  void tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates);
 
   /// Finishes and closes a session, returning its final report.
   JumpReport close_session(int session);
@@ -148,6 +166,11 @@ class StreamManager {
   StreamManagerConfig config_;
   WorkerPool pool_;
   std::vector<std::unique_ptr<StreamSession>> sessions_;  ///< index = id; null = closed
+  /// Duplicate-feed detection without per-tick allocation: session i was
+  /// last listed in tick number tick_stamps_[i]; seeing the current tick
+  /// number twice is the "fed twice in one tick" contract violation.
+  std::vector<std::uint64_t> tick_stamps_;
+  std::uint64_t tick_serial_ = 0;
 };
 
 }  // namespace slj::core

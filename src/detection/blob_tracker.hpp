@@ -66,6 +66,14 @@ class BlobTracker {
   /// Feeds one frame's foreground mask; returns the tracked person blob.
   TrackResult update(const BinaryImage& foreground);
 
+  /// Workspace-aware variant: identical results, but the per-frame
+  /// connected-component pass runs through the caller-provided
+  /// `labeling`/`stack` scratch (label_components_into) instead of
+  /// allocating a fresh Labeling. The engines pass their FrameWorkspace's
+  /// labeling/pixel_stack so tracked sessions stay allocation-lean.
+  TrackResult update(const BinaryImage& foreground, Labeling& labeling,
+                     std::vector<PointI>& stack);
+
   /// Drops the current track.
   void reset();
 
@@ -75,6 +83,10 @@ class BlobTracker {
   bool is_person_like(const ComponentStats& blob) const;
 
  private:
+  /// Association + track dynamics on an already-labelled mask (shared by
+  /// both update overloads so they cannot diverge).
+  TrackResult associate(const BinaryImage& foreground, const Labeling& labeling);
+
   TrackerConfig config_;
   TrackState state_ = TrackState::kNone;
   PointF position_{};

@@ -41,6 +41,12 @@ struct FrameWorkspace {
   std::vector<PointI> pixel_stack;          ///< DFS stack for labeling
   std::vector<std::uint32_t> flood_stack;   ///< index stack for hole filling
 
+  // --- skeleton-graph scratch (build_skeleton_graph / clean_skeleton) ---
+  BinaryImage junction_mask;           ///< degree>=3 skeleton pixels ("is_junction")
+  Labeling junction_labeling;          ///< 8-connected junction clusters / stats label image
+  std::vector<PointI> junction_stack;  ///< DFS stack for the above
+  BinaryImage graph_visited;           ///< pure-cycle sweep "visited" map
+
   // --- Zhang–Suen frontier scratch (zhang_suen_thin_into) ---
   /// Pixels whose 3×3 neighbourhood changed since they were last evaluated
   /// for the first / second sub-iteration; only these can change answer.

@@ -1,0 +1,158 @@
+// FrameQueue: one bounded multi-producer / single-consumer ring of camera
+// frames, feeding one live StreamSession. Producers (camera threads, network
+// receivers) push asynchronously at sensor rate; the ingest scheduler pops at
+// most one frame per drain, so a queue is the buffer between "frames arrive
+// when the camera says so" and "the pool processes them when a lane is free".
+//
+// Overload behaviour is a policy, not an accident:
+//   kBlock        the producer waits for space — lossless, propagates
+//                 backpressure all the way to the camera thread;
+//   kDropOldest   the stalest queued frame is discarded to admit the new one
+//                 — a live coaching feed wants the freshest frame, not a
+//                 growing backlog;
+//   kRejectNewest the incoming frame is refused — the queued history is
+//                 preserved (replay/forensics feeds).
+//
+// A token-bucket RateLimiter in front of the ring caps a single hot camera's
+// admission rate so it cannot starve the shared worker pool of the other
+// sessions' frames.
+//
+// Frame storage is recycled: a push copies pixels into a ring slot whose
+// buffer is reused (Image::operator= keeps capacity), and pop_into swaps the
+// slot's image with the consumer's scratch image, so the steady state moves
+// no heap memory in either direction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace slj::ingest {
+
+/// The ingest plane's clock. Tests inject a manual clock through
+/// IngestRouter::Config::clock; production uses Clock::now().
+using Clock = std::chrono::steady_clock;
+
+/// What a full queue does to the next push (see file comment for tradeoffs).
+enum class BackpressurePolicy {
+  kBlock,         ///< producer waits for space (lossless)
+  kDropOldest,    ///< discard the stalest queued frame, admit the new one
+  kRejectNewest,  ///< refuse the incoming frame, keep the queued history
+};
+
+const char* policy_name(BackpressurePolicy policy);
+
+struct RateLimiterConfig {
+  /// Sustained admission rate; 0 disables the limiter entirely.
+  double tokens_per_second = 0.0;
+  /// Bucket capacity: how many frames may be admitted back-to-back after an
+  /// idle spell before the sustained rate applies.
+  double burst = 1.0;
+};
+
+/// Token bucket: starts full at `burst` tokens, refills continuously at
+/// `tokens_per_second`, and admits one frame per whole token. Callers pass
+/// the current time explicitly so accounting is deterministic under test
+/// clocks. Not internally synchronized — FrameQueue calls it under its own
+/// mutex.
+class RateLimiter {
+ public:
+  explicit RateLimiter(RateLimiterConfig config = {}, Clock::time_point now = {});
+
+  /// Consumes one token if available; false = the frame should be shed.
+  /// Always true when the limiter is disabled (tokens_per_second == 0).
+  bool try_acquire(Clock::time_point now);
+
+  /// Tokens currently in the bucket (refilled up to `now`).
+  double tokens(Clock::time_point now) const;
+
+  const RateLimiterConfig& config() const { return config_; }
+
+ private:
+  double refilled(Clock::time_point now) const;
+
+  RateLimiterConfig config_;
+  double tokens_ = 0.0;
+  Clock::time_point last_{};
+};
+
+/// What happened to a pushed frame. The first two mean the frame entered the
+/// queue; the rest mean it was shed (and by whom).
+enum class PushOutcome {
+  kAccepted,        ///< enqueued into free space
+  kReplacedOldest,  ///< enqueued; the stalest queued frame was discarded
+  kRejected,        ///< refused: queue full under kRejectNewest
+  kRateLimited,     ///< refused: token bucket empty
+  kClosed,          ///< refused: queue closed (session closing/evicted)
+};
+
+/// True when the frame entered the queue (it will eventually be drained).
+inline bool push_accepted(PushOutcome outcome) {
+  return outcome == PushOutcome::kAccepted || outcome == PushOutcome::kReplacedOldest;
+}
+
+const char* outcome_name(PushOutcome outcome);
+
+struct FrameQueueConfig {
+  /// Ring capacity in frames. Small on purpose: a live feed wants fresh
+  /// frames, and StreamManager ticks drain one frame per session anyway.
+  std::size_t capacity = 8;
+  BackpressurePolicy policy = BackpressurePolicy::kDropOldest;
+  RateLimiterConfig rate;  ///< disabled by default
+};
+
+/// One drained frame plus the provenance the delivery plane needs: the
+/// session-local push order and the enqueue time (end-to-end latency).
+struct PendingFrame {
+  RgbImage frame;
+  std::uint64_t sequence = 0;  ///< per-queue admission order, 0-based
+  Clock::time_point enqueued_at{};
+};
+
+class FrameQueue {
+ public:
+  explicit FrameQueue(FrameQueueConfig config);
+
+  FrameQueue(const FrameQueue&) = delete;
+  FrameQueue& operator=(const FrameQueue&) = delete;
+
+  /// Offers one frame from any producer thread. `now` feeds the rate limiter
+  /// and is stamped on the admitted frame. Under kBlock and a full ring this
+  /// waits until the consumer makes space (or the queue is closed).
+  PushOutcome push(const RgbImage& frame, Clock::time_point now);
+
+  /// Pops the oldest queued frame into `out` (swapping image storage both
+  /// ways, so a reused `out` makes the steady state allocation-free).
+  /// Returns false when the queue is empty. Single consumer.
+  bool pop_into(PendingFrame& out);
+
+  /// Frames currently queued.
+  std::size_t depth() const;
+
+  /// Total frames admitted so far (== the next frame's `sequence`).
+  std::uint64_t admitted() const;
+
+  /// Closes the queue: every further push returns kClosed and producers
+  /// blocked in push are woken. Queued frames can still be popped.
+  void close();
+  bool closed() const;
+
+  const FrameQueueConfig& config() const { return config_; }
+
+ private:
+  FrameQueueConfig config_;
+  RateLimiter limiter_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::vector<PendingFrame> slots_;  ///< ring storage, buffers recycled
+  std::size_t head_ = 0;             ///< index of the oldest queued frame
+  std::size_t size_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace slj::ingest

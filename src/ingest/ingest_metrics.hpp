@@ -1,0 +1,120 @@
+// IngestMetrics: the telemetry plane of the ingest subsystem. Every counter
+// is a relaxed atomic and the latency histogram is a fixed array of atomic
+// buckets, so producers and the scheduler record without taking any lock —
+// the hot path pays a handful of uncontended atomic increments. snapshot()
+// folds everything into a plain JSON-serializable struct for dashboards,
+// `sljtool serve`, and the perf_ingest bench.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/frame_queue.hpp"
+
+namespace slj::ingest {
+
+/// Latency histogram with power-of-two microsecond buckets: bucket i counts
+/// samples in [2^(i-1), 2^i) µs (bucket 0 = sub-microsecond). Quantiles are
+/// read back with linear interpolation inside the winning bucket, so p50/p99
+/// carry at most one octave of error — plenty for "is the plane keeping up".
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::chrono::nanoseconds latency);
+
+  /// q in [0, 1]; returns the interpolated quantile in milliseconds
+  /// (0 when no samples were recorded).
+  double quantile_ms(double q) const;
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double max_ms() const {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Per-session rows of a metrics snapshot.
+struct SessionMetricsSnapshot {
+  int session = -1;
+  const char* policy = "";
+  std::uint64_t pushed = 0;        ///< frames admitted into the queue
+  std::uint64_t delivered = 0;     ///< frames whose StreamUpdate reached the sink
+  std::uint64_t dropped_oldest = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rate_limited = 0;
+  std::size_t queue_depth = 0;
+  double throughput_fps = 0.0;     ///< delivered frames / seconds since open
+};
+
+/// One coherent-enough view of the plane (counters are read individually, so
+/// rows can be off by the odd in-flight frame — fine for telemetry).
+struct IngestMetricsSnapshot {
+  std::uint64_t pushed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_oldest = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t closed_pushes = 0;   ///< pushes refused because the queue closed
+  /// Admitted frames discarded un-analysed when their session closed or was
+  /// evicted. Accounting invariant once the plane is quiescent:
+  /// pushed == delivered + dropped_oldest + discarded.
+  std::uint64_t discarded = 0;
+  std::uint64_t ticks = 0;           ///< scheduler rounds that carried frames
+  std::uint64_t evicted_sessions = 0;
+  std::size_t open_sessions = 0;
+  std::size_t queue_depth = 0;       ///< total frames queued right now
+  /// Deepest any single session's queue has been (sampled on admission, so
+  /// a saturated drop-oldest ring reports its capacity).
+  std::size_t queue_depth_peak = 0;
+  double latency_p50_ms = 0.0;       ///< end-to-end: enqueue -> sink
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  std::vector<SessionMetricsSnapshot> sessions;
+
+  std::string to_json() const;
+};
+
+class IngestMetrics {
+ public:
+  /// Records the fate of one offered frame (producer threads).
+  void on_push(PushOutcome outcome);
+
+  /// Records one delivered frame's end-to-end latency (scheduler thread).
+  void on_delivered(std::chrono::nanoseconds latency);
+
+  void on_tick() { ticks_.fetch_add(1, std::memory_order_relaxed); }
+  void on_eviction() { evicted_.fetch_add(1, std::memory_order_relaxed); }
+  /// Records frames a closing/evicted session dropped un-analysed.
+  void on_discarded(std::uint64_t n) { discarded_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Feeds the monotonic per-session queue-depth peak (the router samples
+  /// one session's depth on every admission).
+  void note_depth(std::size_t depth);
+
+  /// Totals only; IngestRouter fills open_sessions / queue_depth / rows.
+  IngestMetricsSnapshot snapshot_totals() const;
+
+ private:
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_oldest_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> closed_pushes_{0};
+  std::atomic<std::uint64_t> discarded_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::size_t> depth_peak_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace slj::ingest

@@ -37,4 +37,10 @@ struct CleanupStats {
 SkeletonGraph clean_skeleton(const BinaryImage& skeleton, int min_branch_vertices = 10,
                              CleanupStats* stats = nullptr);
 
+/// Workspace variant: bit-identical output, but the graph build's full-frame
+/// temporaries live in `ws` and are reused frame over frame (the engines'
+/// steady state — see build_skeleton_graph(skeleton, ws, stats)).
+SkeletonGraph clean_skeleton(const BinaryImage& skeleton, FrameWorkspace& ws,
+                             int min_branch_vertices = 10, CleanupStats* stats = nullptr);
+
 }  // namespace slj::skel

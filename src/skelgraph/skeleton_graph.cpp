@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "imaging/connected.hpp"
+#include "imaging/frame_workspace.hpp"
 
 namespace slj::skel {
 namespace {
@@ -167,13 +168,22 @@ std::string SkeletonGraph::to_dot() const {
   return dot;
 }
 
-SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stats) {
+namespace {
+
+// Shared implementation behind both build_skeleton_graph entry points: the
+// full-frame temporaries (junction mask, label image, visited map, DFS
+// stack) are caller-provided, so the workspace overload recycles them frame
+// over frame while the plain overload passes fresh locals. One body means
+// the two can never diverge.
+SkeletonGraph build_graph_impl(const BinaryImage& skeleton, BuildStats* stats,
+                               Image<std::uint8_t>& is_junction, Labeling& scratch_labeling,
+                               std::vector<PointI>& scratch_stack, BinaryImage& visited) {
   SkeletonGraph graph;
   const int w = skeleton.width();
   const int h = skeleton.height();
 
   // Classify pixels by degree in the pixel graph.
-  Image<std::uint8_t> is_junction(w, h, 0);
+  is_junction.assign(w, h, 0);
   std::size_t skeleton_pixels = 0;
   std::size_t junction_pixels = 0;
   std::size_t pixel_edges2 = 0;  // 2x the number of pixel-graph edges
@@ -192,7 +202,9 @@ SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stat
 
   // Collapse 8-connected clusters of junction pixels into single junction
   // nodes — the paper's adjacent-junction-vertex removal.
-  const Labeling junction_clusters = label_components(is_junction, /*eight_connected=*/true);
+  label_components_into(is_junction, /*eight_connected=*/true, scratch_labeling, scratch_stack);
+  const Labeling& junction_clusters = scratch_labeling;
+  const std::size_t junction_cluster_count = junction_clusters.components.size();
   // pixel -> node id for "special" pixels (cluster members, ends, isolated).
   std::unordered_map<PointI, int> special;
   for (const ComponentStats& c : junction_clusters.components) {
@@ -293,7 +305,7 @@ SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stat
 
   // Pure cycles (all pixels degree 2, no junction/end): seat a synthetic
   // node on the topmost-leftmost unvisited pixel and trace the self-loop.
-  BinaryImage visited(w, h, 0);
+  visited.assign(w, h, 0);
   for (const Edge& e : graph.edges()) {
     for (const PointI& p : e.path) visited.at(p) = 1;
   }
@@ -341,14 +353,33 @@ SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stat
   if (stats != nullptr) {
     stats->skeleton_pixels = skeleton_pixels;
     stats->junction_pixels = junction_pixels;
-    stats->junction_clusters = junction_clusters.components.size();
-    stats->adjacent_junctions_removed = junction_pixels - junction_clusters.components.size();
+    stats->junction_clusters = junction_cluster_count;
+    stats->adjacent_junctions_removed = junction_pixels - junction_cluster_count;
     const std::size_t pixel_edges = pixel_edges2 / 2;
-    const std::size_t components = component_count(skeleton, /*eight_connected=*/true);
+    // Same count as component_count(skeleton), through the caller's scratch
+    // (junction_clusters is no longer read past node construction).
+    label_components_into(skeleton, /*eight_connected=*/true, scratch_labeling, scratch_stack);
+    const std::size_t components = scratch_labeling.components.size();
     stats->pixel_graph_cycles =
         pixel_edges + components >= skeleton_pixels ? pixel_edges + components - skeleton_pixels : 0;
   }
   return graph;
+}
+
+}  // namespace
+
+SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stats) {
+  Image<std::uint8_t> is_junction;
+  Labeling labeling;
+  std::vector<PointI> stack;
+  BinaryImage visited;
+  return build_graph_impl(skeleton, stats, is_junction, labeling, stack, visited);
+}
+
+SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, FrameWorkspace& ws,
+                                   BuildStats* stats) {
+  return build_graph_impl(skeleton, stats, ws.junction_mask, ws.junction_labeling,
+                          ws.junction_stack, ws.graph_visited);
 }
 
 std::vector<KeyPoint> extract_key_points(const SkeletonGraph& graph) {

@@ -19,6 +19,10 @@
 
 #include "imaging/image.hpp"
 
+namespace slj {
+struct FrameWorkspace;
+}
+
 namespace slj::skel {
 
 enum class NodeType : std::uint8_t {
@@ -103,6 +107,15 @@ class SkeletonGraph {
 
 /// Builds the simplified skeleton graph from a thinned 0/1 image.
 SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, BuildStats* stats = nullptr);
+
+/// Workspace variant: bit-identical graph and stats, but the full-frame
+/// temporaries of the build — the junction mask, the cluster/component label
+/// image, the pure-cycle visited map, and the labeling DFS stack — live in
+/// `ws` (junction_mask / junction_labeling / junction_stack / graph_visited)
+/// and are reused frame over frame, closing the skeleton-graph stage's
+/// per-frame full-frame allocations.
+SkeletonGraph build_skeleton_graph(const BinaryImage& skeleton, FrameWorkspace& ws,
+                                   BuildStats* stats = nullptr);
 
 /// A key point as consumed by the pose module: a node position + kind.
 struct KeyPoint {

@@ -198,6 +198,32 @@ TEST(StreamManager, RejectsBadFeeds) {
   EXPECT_THROW(manager.close_session(id), std::invalid_argument);
 }
 
+/// The documented tick contract: a rejected batch (duplicate session id
+/// here) throws *before any session advances*, and tick_into into a reused
+/// buffer yields exactly the same updates as tick().
+TEST(StreamManager, RejectedBatchAdvancesNothingAndTickIntoMatchesTick) {
+  const pose::PoseDbnClassifier classifier;
+  const synth::Clip clip = make_clip(13, 6);
+  StreamManager manager(classifier);
+  StreamSession reference(classifier, clip.background);
+  const int id = manager.open_session(clip.background);
+
+  std::vector<StreamUpdate> updates;
+  for (std::size_t t = 0; t < clip.frames.size(); ++t) {
+    // Every round first offers an invalid batch listing the session twice;
+    // the throw must leave the session un-advanced...
+    EXPECT_THROW(
+        manager.tick_into({{id, &clip.frames[t]}, {id, &clip.frames[t]}}, updates),
+        std::invalid_argument);
+    // ...so the valid batch that follows still sees frames in order.
+    manager.tick_into({{id, &clip.frames[t]}}, updates);
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_EQ(updates[0].frame_index, t);
+    expect_same_result(updates[0].result, reference.push_frame(clip.frames[t]).result, t);
+  }
+  manager.close_session(id);
+}
+
 TEST(StreamManager, EmptyTickIsANoOp) {
   const pose::PoseDbnClassifier classifier;
   StreamManager manager(classifier);
