@@ -6,6 +6,10 @@
 //   sljtool evaluate --model FILE --data DIR     per-clip accuracy
 //   sljtool stream   --model FILE --clip DIR     replay the clip as live feeds
 //   sljtool serve    [--sessions N] [...]        async ingest service demo
+//   sljtool record   --out FILE [...]            record a deterministic ingest
+//                                                trace (.sljtrace)
+//   sljtool replay   --trace FILE [...]          re-drive a trace and verify
+//                                                bit-identical analysis
 //
 // Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
 // manifest.txt) — real footage can be dropped in the same layout.
@@ -20,6 +24,7 @@
 // push frames at a jittery camera cadence into the IngestService's bounded
 // per-session queues while the scheduler drains, analyses and delivers,
 // with the live telemetry table refreshed as it runs.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -32,11 +37,14 @@
 
 #include "core/clip_engine.hpp"
 #include "core/evaluation.hpp"
+#include "core/profiler.hpp"
 #include "core/scoring.hpp"
 #include "core/stream_engine.hpp"
 #include "core/trainer.hpp"
 #include "ingest/ingest_service.hpp"
 #include "pose/decoders.hpp"
+#include "replay/trace_recorder.hpp"
+#include "replay/trace_replayer.hpp"
 #include "synth/clip_io.hpp"
 #include "synth/dataset.hpp"
 
@@ -257,6 +265,17 @@ double double_flag(const std::map<std::string, std::string>& flags, const std::s
   return value;
 }
 
+ingest::BackpressurePolicy policy_flag(const std::map<std::string, std::string>& flags,
+                                       ingest::BackpressurePolicy fallback) {
+  const auto it = flags.find("policy");
+  if (it == flags.end()) return fallback;
+  if (it->second == "block") return ingest::BackpressurePolicy::kBlock;
+  if (it->second == "drop-oldest") return ingest::BackpressurePolicy::kDropOldest;
+  if (it->second == "reject-newest") return ingest::BackpressurePolicy::kRejectNewest;
+  throw std::runtime_error("--policy must be 'block', 'drop-oldest' or 'reject-newest', got '" +
+                           it->second + "'");
+}
+
 void print_serve_table(const ingest::IngestMetricsSnapshot& snap, double elapsed_s) {
   std::printf(
       "t=%5.1fs  pushed %6llu  delivered %6llu  dropped %5llu  rejected %5llu  "
@@ -298,18 +317,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(long_flag(flags, "capacity", 8, 1, 4096));
   session_config.queue.rate.tokens_per_second = double_flag(flags, "rate", 0.0, 0.0, 1e6);
   session_config.queue.rate.burst = double_flag(flags, "burst", 4.0, 1.0, 4096.0);
-  if (const auto it = flags.find("policy"); it != flags.end()) {
-    if (it->second == "block") {
-      session_config.queue.policy = ingest::BackpressurePolicy::kBlock;
-    } else if (it->second == "drop-oldest") {
-      session_config.queue.policy = ingest::BackpressurePolicy::kDropOldest;
-    } else if (it->second == "reject-newest") {
-      session_config.queue.policy = ingest::BackpressurePolicy::kRejectNewest;
-    } else {
-      throw std::runtime_error(
-          "--policy must be 'block', 'drop-oldest' or 'reject-newest', got '" + it->second + "'");
-    }
-  }
+  session_config.queue.policy = policy_flag(flags, session_config.queue.policy);
 
   ingest::IngestService service(classifier, {}, config);
   std::vector<int> ids;
@@ -380,6 +388,161 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   return balanced ? 0 : 1;
 }
 
+// record: capture a *deterministic* ingest run as a .sljtrace file. Unlike
+// serve, nothing here depends on wall-clock or thread timing: the router
+// runs on a manual clock, the scheduler stays stopped, and every round is
+// pushed single-threaded then drained inline through flush(). The same
+// flags therefore always produce byte-for-byte the same trace — which is
+// what makes the checked-in regression corpus reproducible.
+//
+// Each round pushes --pushes-per-round frames into every session, advances
+// the virtual clock by 1/fps, and drains. With a small --capacity this
+// exercises the backpressure policy for real (drop-oldest replaces, reject-
+// newest refuses, block is kept below capacity so the stopped scheduler
+// cannot deadlock a blocking producer).
+int cmd_record(const std::map<std::string, std::string>& flags) {
+  pose::PoseDbnClassifier classifier;  // untrained by default: no model file needed
+  if (const auto it = flags.find("model"); it != flags.end()) classifier = load_model(it->second);
+
+  synth::Clip clip;
+  if (const auto it = flags.find("clip"); it != flags.end()) {
+    clip = synth::load_clip(it->second);
+  } else {
+    synth::ClipSpec spec;
+    spec.seed = static_cast<std::uint32_t>(long_flag(flags, "seed", 2008, 1, 1u << 30));
+    if (long_flag(flags, "mini", 0, 0, 1) != 0) {
+      // Tiny noise-free studio: frames RLE-compress ~50x, keeping corpus
+      // traces small enough to check into the repository.
+      spec.camera.width = 96;
+      spec.camera.height = 64;
+      spec.camera.pixels_per_meter = 24.0;
+      spec.camera.origin_x_px = 12.0;
+      spec.camera.ground_y_px = 60.0;
+      spec.camera.sensor_noise_sigma = 0.0;
+      spec.camera.speckle_fraction = 0.0;
+    }
+    clip = synth::generate_clip(spec);
+  }
+
+  const std::string out = require(flags, "out");
+  const long sessions = long_flag(flags, "sessions", 3, 1, 64);
+  const long frames = long_flag(flags, "frames", 18, 1, 100000);
+  const double fps = double_flag(flags, "fps", 60.0, 1.0, 10000.0);
+  long per_round = long_flag(flags, "pushes-per-round", 2, 1, 64);
+
+  ingest::IngestSessionConfig session_config;
+  session_config.queue.capacity =
+      static_cast<std::size_t>(long_flag(flags, "capacity", 2, 1, 4096));
+  session_config.queue.rate.tokens_per_second = double_flag(flags, "rate", 0.0, 0.0, 1e6);
+  session_config.queue.rate.burst = double_flag(flags, "burst", 4.0, 1.0, 4096.0);
+  session_config.queue.policy = policy_flag(flags, ingest::BackpressurePolicy::kDropOldest);
+  if (session_config.queue.policy == ingest::BackpressurePolicy::kBlock &&
+      per_round > static_cast<long>(session_config.queue.capacity)) {
+    // A blocking push against a full queue would wait forever with the
+    // scheduler stopped; keep each round within capacity instead.
+    per_round = static_cast<long>(session_config.queue.capacity);
+    std::printf("note: clamped --pushes-per-round to capacity %ld for the block policy\n",
+                per_round);
+  }
+
+  // Manual clock: the plane's only time source, advanced by hand per round.
+  std::atomic<std::int64_t> now_ns{0};
+  ingest::IngestServiceConfig config;
+  config.manager.workers = static_cast<unsigned>(long_flag(flags, "workers", 1, 0, 1024));
+  config.router.clock = [&now_ns] {
+    return ingest::Clock::time_point(ingest::Clock::duration(now_ns.load()));
+  };
+
+  ingest::IngestService service(classifier, {}, config);
+  replay::TraceRecorder recorder(out);
+  service.set_tap(&recorder);
+
+  std::vector<int> ids;
+  for (long s = 0; s < sessions; ++s) {
+    ids.push_back(service.open_session(clip.background, session_config));
+  }
+
+  const auto period_ns = static_cast<std::int64_t>(1e9 / fps);
+  std::vector<std::size_t> next(ids.size());
+  for (std::size_t s = 0; s < ids.size(); ++s) next[s] = s;  // stagger the feeds
+  long pushed = 0;
+  while (pushed < frames * sessions) {
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      for (long k = 0; k < per_round && pushed < frames * sessions; ++k) {
+        service.push(ids[s], clip.frames[next[s] % clip.frames.size()]);
+        ++next[s];
+        ++pushed;
+      }
+    }
+    now_ns.fetch_add(period_ns);
+    service.flush();  // scheduler stopped: drains inline, deterministically
+  }
+  for (const int id : ids) service.close_session(id);
+  recorder.finish(service.metrics());
+
+  const ingest::IngestMetricsSnapshot snap = service.metrics();
+  std::printf("recorded %llu events to %s (%ld sessions, %llu pushed, %llu delivered, "
+              "%llu dropped, %llu rejected, policy %s)\n",
+              static_cast<unsigned long long>(recorder.events()), out.c_str(), sessions,
+              static_cast<unsigned long long>(snap.pushed),
+              static_cast<unsigned long long>(snap.delivered),
+              static_cast<unsigned long long>(snap.dropped_oldest),
+              static_cast<unsigned long long>(snap.rejected),
+              ingest::policy_name(session_config.queue.policy));
+
+  // Immediate self-check: the trace must replay bit-identically in-process.
+  replay::ReplayOptions options;
+  options.workers = 1;
+  const replay::ReplayResult check =
+      replay::TraceReplayer(classifier, {}, options).replay_file(out);
+  std::printf("self-check: %s\n",
+              check.identical() ? "replays bit-identically"
+                                : ("DIVERGED: " + check.first_mismatch()).c_str());
+  return check.identical() ? 0 : 1;
+}
+
+// replay: re-drive a trace through today's code and verify the recorded
+// golden outputs, at any worker count. Exit status 0 = bit-identical
+// (within --tolerance for posteriors, for cross-toolchain corpora).
+int cmd_replay(const std::map<std::string, std::string>& flags) {
+  pose::PoseDbnClassifier classifier;
+  if (const auto it = flags.find("model"); it != flags.end()) classifier = load_model(it->second);
+
+  replay::ReplayOptions options;
+  options.workers = static_cast<unsigned>(long_flag(flags, "workers", 1, 0, 1024));
+  options.posterior_tolerance = double_flag(flags, "tolerance", 0.0, 0.0, 1.0);
+
+  core::Profiler::instance().reset();
+  const replay::TraceReplayer replayer(classifier, {}, options);
+  const replay::ReplayResult result = replayer.replay_file(require(flags, "trace"));
+
+  std::printf("replayed %llu ticks / %llu frames across %llu sessions "
+              "(recorded span %.3f s, workers %u)\n",
+              static_cast<unsigned long long>(result.ticks),
+              static_cast<unsigned long long>(result.frames_replayed),
+              static_cast<unsigned long long>(result.sessions_opened),
+              static_cast<double>(result.recorded_span_ns) / 1e9, options.workers);
+  if (!result.has_summary) std::printf("warning: trace has no summary record\n");
+  for (const std::string& m : result.mismatches) std::printf("  mismatch: %s\n", m.c_str());
+  std::printf("verdict: %s (%llu update, %llu report, %llu accounting mismatches)\n",
+              result.identical() ? "bit-identical" : "DIVERGED",
+              static_cast<unsigned long long>(result.update_mismatches),
+              static_cast<unsigned long long>(result.report_mismatches),
+              static_cast<unsigned long long>(result.accounting_mismatches));
+
+  // Per-stage timings of the replay itself (populated in profiler builds).
+  const core::ProfilerSnapshot profile = core::Profiler::instance().snapshot();
+  if (const auto it = flags.find("profile-json"); it != flags.end()) {
+    std::ofstream json(it->second);
+    if (!json) throw std::runtime_error("cannot write " + it->second);
+    json << profile.to_json() << "\n";
+    std::printf("profiler snapshot written to %s\n", it->second.c_str());
+  } else if (profile.compiled) {
+    std::printf("profiler:\n%s\n", profile.to_json().c_str());
+  }
+  return result.identical() ? 0 : 1;
+}
+
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
   const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
@@ -406,7 +569,13 @@ int usage() {
               "  sljtool serve    [--model FILE] [--clip DIR | --seed N] [--sessions N]\n"
               "                   [--seconds S] [--fps F] [--jitter 0..1] [--workers N]\n"
               "                   [--policy block|drop-oldest|reject-newest] [--capacity N]\n"
-              "                   [--rate TOKENS_PER_S] [--burst N]\n");
+              "                   [--rate TOKENS_PER_S] [--burst N]\n"
+              "  sljtool record   --out FILE [--model FILE] [--clip DIR | --seed N] [--mini 0|1]\n"
+              "                   [--sessions N] [--frames N] [--pushes-per-round N] [--fps F]\n"
+              "                   [--policy block|drop-oldest|reject-newest] [--capacity N]\n"
+              "                   [--rate TOKENS_PER_S] [--burst N] [--workers N]\n"
+              "  sljtool replay   --trace FILE [--model FILE] [--workers N] [--tolerance X]\n"
+              "                   [--profile-json FILE]\n");
   return 2;
 }
 
@@ -423,6 +592,8 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(flags);
     if (cmd == "stream") return cmd_stream(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "record") return cmd_record(flags);
+    if (cmd == "replay") return cmd_replay(flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

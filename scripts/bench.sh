@@ -1,37 +1,63 @@
 #!/usr/bin/env bash
-# Perf trajectory: builds Release, runs the engine + ingest benches, and
-# emits BENCH_pr5.json (frames/sec, p50/p99 per-frame latency, and the
-# ingest plane's sustained throughput / drop rate / end-to-end latency).
-# CI uploads the file as an artifact so regressions are visible PR over PR.
+# Perf trajectory: builds Release, runs the engine + ingest + profiler
+# benches, and emits BENCH_pr6.json (frames/sec, p50/p99 per-frame latency,
+# the ingest plane's sustained throughput / drop rate / end-to-end latency,
+# and the profiler overhead guard). CI uploads the file as an artifact so
+# regressions are visible PR over PR.
+#
+# Failure contract: if ANY bench binary fails, this script exits non-zero
+# and writes NO output file. The JSON is assembled in a temp file and moved
+# into place atomically only after every section validated, so a partial or
+# truncated BENCH_*.json can never masquerade as a complete run.
+#
 # Usage: scripts/bench.sh [build-dir] [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr5.json}"
+OUT="${2:-BENCH_pr6.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target perf_clip_engine perf_stream_engine perf_ingest
+cmake --build "$BUILD_DIR" -j --target \
+  perf_clip_engine perf_stream_engine perf_ingest perf_profiler
 
-CLIP_JSON="$(mktemp)"
-STREAM_JSON="$(mktemp)"
-INGEST_JSON="$(mktemp)"
-trap 'rm -f "$CLIP_JSON" "$STREAM_JSON" "$INGEST_JSON"' EXIT
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
 
-"$BUILD_DIR/perf_clip_engine" --json "$CLIP_JSON"
-"$BUILD_DIR/perf_stream_engine" --json "$STREAM_JSON"
-"$BUILD_DIR/perf_ingest" --json "$INGEST_JSON"
+# Runs one bench; on failure, reports which one died and aborts the whole
+# script (set -e) before any output file exists.
+run_bench() {
+  local name="$1" json="$2"
+  shift 2
+  if ! "$BUILD_DIR/$name" --json "$json" "$@"; then
+    echo "error: bench '$name' failed; not writing $OUT" >&2
+    exit 1
+  fi
+  # An empty or unterminated JSON section means the bench died mid-write.
+  if [[ ! -s "$json" ]] || [[ "$(tail -c 2 "$json" | head -c 1)" != "}" ]]; then
+    echo "error: bench '$name' produced incomplete JSON; not writing $OUT" >&2
+    exit 1
+  fi
+}
+
+run_bench perf_clip_engine "$WORK/clip.json"
+run_bench perf_stream_engine "$WORK/stream.json"
+run_bench perf_ingest "$WORK/ingest.json"
+run_bench perf_profiler "$WORK/profiler.json"
 
 {
   echo '{'
-  echo '  "bench": "pr5-async-ingest",'
+  echo '  "bench": "pr6-record-replay",'
   echo '  "clip_engine":'
-  sed 's/^/  /' "$CLIP_JSON" | sed '$ s/$/,/'
+  sed 's/^/  /' "$WORK/clip.json" | sed '$ s/$/,/'
   echo '  "stream_engine":'
-  sed 's/^/  /' "$STREAM_JSON" | sed '$ s/$/,/'
+  sed 's/^/  /' "$WORK/stream.json" | sed '$ s/$/,/'
   echo '  "ingest_engine":'
-  sed 's/^/  /' "$INGEST_JSON"
+  sed 's/^/  /' "$WORK/ingest.json" | sed '$ s/$/,/'
+  echo '  "profiler_overhead":'
+  sed 's/^/  /' "$WORK/profiler.json"
   echo '}'
-} > "$OUT"
+} > "$WORK/combined.json"
 
+mv "$WORK/combined.json" "$OUT"
 echo "wrote $OUT"

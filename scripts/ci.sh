@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress]
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay]
 #   --sanitize     Debug build with ASan+UBSan (keeps the streaming/worker-pool
 #                  concurrency sanitizer-clean).
 #   --tsan         Debug build with ThreadSanitizer (pins that per-lane
@@ -9,6 +9,11 @@
 #                  multi-producer ingest stress tests repeatedly — the
 #                  dedicated race hunt for FrameQueue/IngestRouter/
 #                  IngestService under concurrent producers.
+#   --replay       ASan+UBSan build with the profiler compiled in; runs the
+#                  replay/profiler/format-fuzz suites, then replays every
+#                  checked-in golden trace through `sljtool replay` at
+#                  several worker counts, writing per-trace profiler
+#                  snapshots to <build-dir>/replay_artifacts/ for upload.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,12 +41,50 @@ for arg in "$@"; do
       )
       MODE="tsan-stress"
       ;;
+    --replay)
+      CMAKE_ARGS+=(
+        -DCMAKE_BUILD_TYPE=Debug
+        -DSLJ_ENABLE_PROFILER=ON
+        "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all"
+      )
+      MODE="replay"
+      ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
-if [[ "$MODE" == "tsan-stress" ]]; then
+if [[ "$MODE" == "replay" ]]; then
+  cmake --build "$BUILD_DIR" -j --target \
+    test_replay test_profiler test_clip_io test_image_io sljtool
+  # The deserialization fuzz sweeps (truncations, bit flips, oversized
+  # length prefixes) run under ASan/UBSan here — "fails cleanly" means no
+  # sanitizer report, not just a caught exception.
+  "$BUILD_DIR/test_replay"
+  "$BUILD_DIR/test_profiler"
+  "$BUILD_DIR/test_clip_io"
+  "$BUILD_DIR/test_image_io"
+
+  # Golden corpus through the CLI at several worker counts; each run must
+  # report bit-identical and leaves its profiler snapshot as an artifact.
+  ARTIFACTS="$BUILD_DIR/replay_artifacts"
+  mkdir -p "$ARTIFACTS"
+  shopt -s nullglob
+  traces=(tests/corpus/*.sljtrace)
+  if [[ ${#traces[@]} -eq 0 ]]; then
+    echo "error: no traces in tests/corpus/" >&2
+    exit 1
+  fi
+  for trace in "${traces[@]}"; do
+    name="$(basename "$trace" .sljtrace)"
+    for workers in 1 4; do
+      "$BUILD_DIR/sljtool" replay --trace "$trace" --workers "$workers" \
+        --tolerance 1e-9 \
+        --profile-json "$ARTIFACTS/${name}_w${workers}_profile.json"
+    done
+  done
+  echo "replay artifacts in $ARTIFACTS/"
+elif [[ "$MODE" == "tsan-stress" ]]; then
   cmake --build "$BUILD_DIR" -j --target test_ingest
   # Repetition is what shakes out rare interleavings: the blocked-producer
   # wakeups, drain-vs-push races, and eviction-vs-push refusals.

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "core/profiler.hpp"
 #include "imaging/morphology.hpp"
 #include "skelgraph/simplify.hpp"
 #include "thinning/zhang_suen.hpp"
@@ -44,21 +45,27 @@ FrameObservation FramePipeline::process(const RgbImage& frame, detect::BlobTrack
 
 void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
                                  FrameObservation& out) const {
-  extractor_.extract_into(frame, ws, out.silhouette);
+  {
+    SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
+    extractor_.extract_into(frame, ws, out.silhouette);
+  }
   finish_observation(ws, out);
 }
 
 void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
                                  FrameWorkspace& ws, FrameObservation& out) const {
-  extractor_.extract_into(frame, ws, out.silhouette);
-  // The extractor is done with ws.labeling/pixel_stack; the tracker's
-  // component pass reuses them instead of allocating its own Labeling.
-  const detect::TrackResult track = tracker.update(ws.smoothed, ws.labeling, ws.pixel_stack);
-  if (track.measured) {
-    fill_holes_into(track.mask, ws.reached, ws.flood_stack, out.silhouette);
+  {
+    SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
+    extractor_.extract_into(frame, ws, out.silhouette);
+    // The extractor is done with ws.labeling/pixel_stack; the tracker's
+    // component pass reuses them instead of allocating its own Labeling.
+    const detect::TrackResult track = tracker.update(ws.smoothed, ws.labeling, ws.pixel_stack);
+    if (track.measured) {
+      fill_holes_into(track.mask, ws.reached, ws.flood_stack, out.silhouette);
+    }
+    // else: keep the extractor's own cleanup (already in out.silhouette) so
+    // the clip keeps flowing, matching process(frame, tracker).
   }
-  // else: keep the extractor's own cleanup (already in out.silhouette) so
-  // the clip keeps flowing, matching process(frame, tracker).
   finish_observation(ws, out);
 }
 
@@ -66,15 +73,19 @@ void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tra
 // they cannot diverge: graph cleanup, key points, candidates, bottom row.
 // Expects obs.silhouette and obs.raw_skeleton to be set.
 void FramePipeline::finish_graph_stages(FrameObservation& obs, FrameWorkspace* ws) const {
-  obs.graph = ws != nullptr
-                  ? skel::clean_skeleton(obs.raw_skeleton, *ws, params_.min_branch_vertices,
-                                         &obs.cleanup)
-                  : skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices,
-                                         &obs.cleanup);
-  if (params_.split_bends) {
-    skel::split_edges_at_bends(obs.graph, params_.bend_tolerance);
+  {
+    SLJ_PROFILE_SCOPE(ProfileStage::kSkelGraph);
+    obs.graph = ws != nullptr
+                    ? skel::clean_skeleton(obs.raw_skeleton, *ws, params_.min_branch_vertices,
+                                           &obs.cleanup)
+                    : skel::clean_skeleton(obs.raw_skeleton, params_.min_branch_vertices,
+                                           &obs.cleanup);
+    if (params_.split_bends) {
+      skel::split_edges_at_bends(obs.graph, params_.bend_tolerance);
+    }
+    obs.key_points = skel::extract_key_points(obs.graph);
   }
-  obs.key_points = skel::extract_key_points(obs.graph);
+  SLJ_PROFILE_SCOPE(ProfileStage::kFeatures);
   obs.candidates = pose::enumerate_candidates(obs.graph, encoder_, params_.candidates);
   obs.bottom_row = -1;
   const int w = obs.silhouette.width();
@@ -89,14 +100,20 @@ void FramePipeline::finish_graph_stages(FrameObservation& obs, FrameWorkspace* w
 }
 
 void FramePipeline::finish_observation(FrameWorkspace& ws, FrameObservation& obs) const {
-  thin::zhang_suen_thin_into(obs.silhouette, ws, obs.raw_skeleton);
+  {
+    SLJ_PROFILE_SCOPE(ProfileStage::kThin);
+    thin::zhang_suen_thin_into(obs.silhouette, ws, obs.raw_skeleton);
+  }
   finish_graph_stages(obs, &ws);
 }
 
 FrameObservation FramePipeline::process_silhouette(const BinaryImage& silhouette) const {
   FrameObservation obs;
   obs.silhouette = silhouette;
-  obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
+  {
+    SLJ_PROFILE_SCOPE(ProfileStage::kThin);
+    obs.raw_skeleton = thin::zhang_suen_thin(obs.silhouette);
+  }
   finish_graph_stages(obs, nullptr);
   return obs;
 }

@@ -1,0 +1,118 @@
+#include "core/profiler.hpp"
+
+#include <cstdio>
+
+namespace slj::core {
+
+const char* profile_stage_name(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kPass: return "pass";
+    case ProfileStage::kDrain: return "drain";
+    case ProfileStage::kTick: return "tick";
+    case ProfileStage::kFrame: return "frame";
+    case ProfileStage::kExtract: return "extract";
+    case ProfileStage::kThin: return "thin";
+    case ProfileStage::kSkelGraph: return "skelgraph";
+    case ProfileStage::kFeatures: return "features";
+    case ProfileStage::kDecode: return "decode";
+    case ProfileStage::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+ProfileStage profile_stage_parent(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kPass: return ProfileStage::kPass;  // root
+    case ProfileStage::kDrain:
+    case ProfileStage::kTick:
+    case ProfileStage::kDeliver: return ProfileStage::kPass;
+    case ProfileStage::kFrame: return ProfileStage::kTick;
+    case ProfileStage::kExtract:
+    case ProfileStage::kThin:
+    case ProfileStage::kSkelGraph:
+    case ProfileStage::kFeatures:
+    case ProfileStage::kDecode: return ProfileStage::kFrame;
+  }
+  return ProfileStage::kPass;
+}
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(ProfileStage stage, std::uint64_t elapsed_ns) {
+  StageCounters& c = stages_[static_cast<std::size_t>(stage)];
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  std::uint64_t seen = c.max_ns.load(std::memory_order_relaxed);
+  while (elapsed_ns > seen &&
+         !c.max_ns.compare_exchange_weak(seen, elapsed_ns, std::memory_order_relaxed)) {
+  }
+}
+
+ProfilerSnapshot Profiler::snapshot() const {
+  ProfilerSnapshot snap;
+  snap.compiled = compiled_in();
+  snap.enabled = enabled();
+
+  std::array<std::uint64_t, kProfileStageCount> total_ns{};
+  for (std::size_t i = 0; i < kProfileStageCount; ++i) {
+    total_ns[i] = stages_[i].total_ns.load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kProfileStageCount; ++i) {
+    const std::uint64_t calls = stages_[i].calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    const ProfileStage stage = static_cast<ProfileStage>(i);
+    const ProfileStage parent = profile_stage_parent(stage);
+    ProfileStageSnapshot row;
+    row.stage = profile_stage_name(stage);
+    row.parent = profile_stage_name(parent);
+    row.calls = calls;
+    row.total_ms = static_cast<double>(total_ns[i]) / 1e6;
+    row.avg_us = static_cast<double>(total_ns[i]) / static_cast<double>(calls) / 1e3;
+    row.max_us =
+        static_cast<double>(stages_[i].max_ns.load(std::memory_order_relaxed)) / 1e3;
+    const std::uint64_t parent_ns = total_ns[static_cast<std::size_t>(parent)];
+    if (parent == stage) {
+      row.share_of_parent = 1.0;
+    } else if (parent_ns > 0) {
+      row.share_of_parent = static_cast<double>(total_ns[i]) / static_cast<double>(parent_ns);
+    }
+    snap.stages.push_back(row);
+  }
+  return snap;
+}
+
+void Profiler::reset() {
+  for (StageCounters& c : stages_) {
+    c.calls.store(0, std::memory_order_relaxed);
+    c.total_ns.store(0, std::memory_order_relaxed);
+    c.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string ProfilerSnapshot::to_json() const {
+  char buf[256];
+  std::string out = "{\n";
+  std::snprintf(buf, sizeof(buf), "    \"compiled\": %s,\n    \"enabled\": %s,\n",
+                compiled ? "true" : "false", enabled ? "true" : "false");
+  out += buf;
+  out += "    \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const ProfileStageSnapshot& s = stages[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"stage\": \"%s\", \"parent\": \"%s\", \"calls\": %llu, "
+                  "\"total_ms\": %.3f, \"avg_us\": %.2f, \"max_us\": %.2f, "
+                  "\"share_of_parent\": %.3f}",
+                  i == 0 ? "" : ",", s.stage, s.parent,
+                  static_cast<unsigned long long>(s.calls), s.total_ms, s.avg_us, s.max_us,
+                  s.share_of_parent);
+    out += buf;
+  }
+  out += stages.empty() ? "]\n" : "\n    ]\n";
+  out += "  }";
+  return out;
+}
+
+}  // namespace slj::core

@@ -1,0 +1,164 @@
+// Hierarchical profiler: scoped RAII timers aggregated per pipeline stage.
+//
+// The stage tree is static — one node per named phase of the live plane:
+//
+//   pass                     one ingest scheduler round
+//   ├── drain                router drain (queue pops)
+//   ├── tick                 StreamManager::tick_into (parallel analysis)
+//   │   └── frame            one session's full per-frame work
+//   │       ├── extract      background subtraction → silhouette
+//   │       ├── thin         Zhang–Suen thinning
+//   │       ├── skelgraph    graph build + loop cut + pruning + key points
+//   │       ├── features     candidate enumeration + bottom row
+//   │       └── decode       DBN / forward-filter pose decision + fault rules
+//   └── deliver              per-session sink callbacks
+//
+// Cost model, in order of cheapness:
+//   1. Compiled out (the default): SLJ_PROFILE_SCOPE expands to nothing.
+//      Build with -DSLJ_ENABLE_PROFILER=ON (CMake) to compile the scopes in.
+//   2. Compiled in, runtime-disabled: one relaxed atomic load per scope.
+//   3. Compiled in, enabled: two steady_clock reads plus three relaxed
+//      atomic adds per scope — a few tens of nanoseconds against a frame
+//      pass that costs hundreds of microseconds.
+//
+// Aggregation is process-global and lock-free (relaxed atomics per stage),
+// so worker lanes record concurrently without contending. snapshot() folds
+// the counters into a plain struct that IngestRouter::snapshot() embeds in
+// the IngestMetrics JSON — `sljtool serve`/`replay` print it live.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slj::core {
+
+/// Stages of the static profile tree, in report order.
+enum class ProfileStage : std::uint8_t {
+  kPass = 0,
+  kDrain,
+  kTick,
+  kFrame,
+  kExtract,
+  kThin,
+  kSkelGraph,
+  kFeatures,
+  kDecode,
+  kDeliver,
+};
+
+inline constexpr std::size_t kProfileStageCount = 10;
+
+const char* profile_stage_name(ProfileStage stage);
+
+/// Parent stage in the static tree; kPass (the root) is its own parent.
+ProfileStage profile_stage_parent(ProfileStage stage);
+
+/// One aggregated stage row of a snapshot.
+struct ProfileStageSnapshot {
+  const char* stage = "";
+  const char* parent = "";
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double avg_us = 0.0;
+  double max_us = 0.0;
+  /// total_ms over the parent stage's total_ms (1.0 for the root, 0.0 when
+  /// the parent recorded nothing).
+  double share_of_parent = 0.0;
+};
+
+struct ProfilerSnapshot {
+  bool compiled = false;  ///< scopes compiled into this build
+  bool enabled = false;   ///< runtime flag at snapshot time
+  /// Stages with at least one call, in tree order.
+  std::vector<ProfileStageSnapshot> stages;
+
+  std::string to_json() const;
+};
+
+/// Process-global aggregation. The class itself is always compiled (tests
+/// and tools can drive it directly); only the SLJ_PROFILE_SCOPE
+/// instrumentation points are compile-time gated.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// True when this build compiled the pipeline instrumentation in.
+  static constexpr bool compiled_in() {
+#if defined(SLJ_PROFILER_ENABLED) && SLJ_PROFILER_ENABLED
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Adds one sample to a stage (worker lanes call this concurrently).
+  void record(ProfileStage stage, std::uint64_t elapsed_ns);
+
+  /// Folds the counters into a report (stages with zero calls are omitted).
+  ProfilerSnapshot snapshot() const;
+
+  /// Zeroes every stage (between bench phases / replay runs).
+  void reset();
+
+ private:
+  Profiler() = default;
+
+  struct StageCounters {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  /// Compiled-in builds profile by default — the "always-on" posture; the
+  /// flag exists so benches can measure their own baseline.
+  std::atomic<bool> enabled_{compiled_in()};
+  std::array<StageCounters, kProfileStageCount> stages_{};
+};
+
+/// RAII sample: measures construction → destruction and records it against
+/// `stage` when the profiler is enabled.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileStage stage)
+      : stage_(stage), armed_(Profiler::instance().enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfileScope() {
+    if (armed_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      Profiler::instance().record(
+          stage_, static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileStage stage_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// The instrumentation points compile to nothing unless the build opts in:
+// the default build's hot path carries zero profiler cost (satellite guard:
+// perf_micro is unchanged by this header).
+#if defined(SLJ_PROFILER_ENABLED) && SLJ_PROFILER_ENABLED
+#define SLJ_PROFILE_CONCAT_INNER(a, b) a##b
+#define SLJ_PROFILE_CONCAT(a, b) SLJ_PROFILE_CONCAT_INNER(a, b)
+#define SLJ_PROFILE_SCOPE(stage) \
+  ::slj::core::ProfileScope SLJ_PROFILE_CONCAT(slj_profile_scope_, __LINE__)(stage)
+#else
+#define SLJ_PROFILE_SCOPE(stage) ((void)0)
+#endif
+
+}  // namespace slj::core

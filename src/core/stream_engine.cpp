@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/profiler.hpp"
+
 namespace slj::core {
 
 // ---- StreamSession ---------------------------------------------------------
@@ -21,6 +23,7 @@ StreamSession::StreamSession(const pose::PoseDbnClassifier& classifier,
 }
 
 StreamUpdate StreamSession::push_frame(const RgbImage& frame) {
+  SLJ_PROFILE_SCOPE(ProfileStage::kFrame);
   // observation_ / workspace_ are reused frame over frame so the camera
   // steady state allocates no full-frame buffers.
   if (tracker_) {
@@ -32,6 +35,7 @@ StreamUpdate StreamSession::push_frame(const RgbImage& frame) {
 }
 
 StreamUpdate StreamSession::push_observation(const FrameObservation& observation) {
+  SLJ_PROFILE_SCOPE(ProfileStage::kDecode);
   StreamUpdate update;
   update.frame_index = frames_++;
   update.airborne = ground_.airborne(observation.bottom_row);

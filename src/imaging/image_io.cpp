@@ -22,6 +22,12 @@ void skip_separators(std::istream& in) {
   }
 }
 
+/// Largest accepted image side. A 32768² frame is already ~3 GiB of RGB —
+/// far past any real camera — so a header claiming more is a corrupt or
+/// hostile file, and rejecting it here keeps a flipped header byte from
+/// turning into a giant allocation.
+constexpr int kMaxImageDimension = 1 << 15;
+
 int read_header_int(std::istream& in, const std::string& path) {
   skip_separators(in);
   int value = 0;
@@ -29,6 +35,12 @@ int read_header_int(std::istream& in, const std::string& path) {
     throw std::runtime_error("malformed netpbm header in " + path);
   }
   return value;
+}
+
+void check_dimensions(int width, int height, const std::string& path) {
+  if (width > kMaxImageDimension || height > kMaxImageDimension) {
+    throw std::runtime_error("image dimensions out of range in " + path);
+  }
 }
 
 void check_magic(std::istream& in, const std::string& expected, const std::string& path) {
@@ -70,6 +82,7 @@ GrayImage read_pgm(const std::string& path) {
   const int height = read_header_int(in, path);
   const int maxval = read_header_int(in, path);
   if (maxval != 255) throw std::runtime_error("unsupported maxval in " + path);
+  check_dimensions(width, height, path);
   in.get();  // single whitespace after maxval
   GrayImage img(width, height);
   in.read(reinterpret_cast<char*>(img.data().data()), static_cast<std::streamsize>(img.size()));
@@ -87,6 +100,7 @@ RgbImage read_ppm(const std::string& path) {
   const int height = read_header_int(in, path);
   const int maxval = read_header_int(in, path);
   if (maxval != 255) throw std::runtime_error("unsupported maxval in " + path);
+  check_dimensions(width, height, path);
   in.get();
   RgbImage img(width, height);
   std::vector<char> raw(img.size() * 3);

@@ -69,7 +69,8 @@ FrameQueue::FrameQueue(FrameQueueConfig config)
   }
 }
 
-PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now) {
+PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now,
+                             std::uint64_t* sequence) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) return PushOutcome::kClosed;
   // The limiter gates *offered* frames: a token is consumed even when the
@@ -98,6 +99,7 @@ PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now) {
   slot.sequence = next_sequence_++;
   slot.enqueued_at = now;
   ++size_;
+  if (sequence != nullptr) *sequence = slot.sequence;
   return outcome;
 }
 

@@ -122,8 +122,11 @@ class FrameQueue {
 
   /// Offers one frame from any producer thread. `now` feeds the rate limiter
   /// and is stamped on the admitted frame. Under kBlock and a full ring this
-  /// waits until the consumer makes space (or the queue is closed).
-  PushOutcome push(const RgbImage& frame, Clock::time_point now);
+  /// waits until the consumer makes space (or the queue is closed). When the
+  /// frame is admitted and `sequence` is non-null, it receives the frame's
+  /// queue-assigned admission index (the trace recorder keys frames by it).
+  PushOutcome push(const RgbImage& frame, Clock::time_point now,
+                   std::uint64_t* sequence = nullptr);
 
   /// Pops the oldest queued frame into `out` (swapping image storage both
   /// ways, so a reused `out` makes the steady state allocation-free).

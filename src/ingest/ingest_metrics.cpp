@@ -160,8 +160,10 @@ std::string IngestMetricsSnapshot::to_json() const {
                   s.throughput_fps);
     out += buf;
   }
-  out += sessions.empty() ? "]\n" : "\n  ]\n";
-  out += "}";
+  out += sessions.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"profiler\": ";
+  out += profiler.to_json();
+  out += "\n}";
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/profiler.hpp"
 #include "ingest/frame_queue.hpp"
 
 namespace slj::ingest {
@@ -79,6 +80,10 @@ struct IngestMetricsSnapshot {
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
   std::vector<SessionMetricsSnapshot> sessions;
+  /// Per-stage time breakdown (extract → thin → skelgraph → features →
+  /// decode, plus the scheduler's drain/tick/deliver phases). Empty stage
+  /// list with compiled=false in default builds — see core/profiler.hpp.
+  core::ProfilerSnapshot profiler;
 
   std::string to_json() const;
 };

@@ -41,7 +41,7 @@ std::shared_ptr<IngestRouter::SessionState> IngestRouter::state_if_open(int sess
   return sessions_[static_cast<std::size_t>(session)];
 }
 
-PushOutcome IngestRouter::push(int session, const RgbImage& frame) {
+PushOutcome IngestRouter::push(int session, const RgbImage& frame, std::uint64_t* sequence) {
   const std::shared_ptr<SessionState> state = state_if_open(session);
   if (!state) return PushOutcome::kClosed;  // closed sessions refuse quietly
 
@@ -50,7 +50,7 @@ PushOutcome IngestRouter::push(int session, const RgbImage& frame) {
   // rate-limited or shed is alive, only a silent one is idle.
   state->last_activity.store(now.time_since_epoch().count(), std::memory_order_relaxed);
 
-  const PushOutcome outcome = state->queue.push(frame, now);
+  const PushOutcome outcome = state->queue.push(frame, now, sequence);
   switch (outcome) {
     case PushOutcome::kAccepted:
       state->pushed.fetch_add(1, std::memory_order_relaxed);
@@ -169,6 +169,7 @@ std::uint64_t IngestRouter::admitted(int session) const {
 
 IngestMetricsSnapshot IngestRouter::snapshot() {
   IngestMetricsSnapshot snap = metrics_.snapshot_totals();
+  snap.profiler = core::Profiler::instance().snapshot();
   const Clock::time_point now = clock_();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   for (const std::shared_ptr<SessionState>& s : sessions_) {

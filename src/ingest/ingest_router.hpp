@@ -73,8 +73,9 @@ class IngestRouter {
 
   /// Offers one frame from any producer thread. Unknown ids throw
   /// std::invalid_argument; a closed (or closing) session returns kClosed —
-  /// producers racing an eviction get a quiet refusal, not a crash.
-  PushOutcome push(int session, const RgbImage& frame);
+  /// producers racing an eviction get a quiet refusal, not a crash. An
+  /// admitted frame's queue sequence lands in `sequence` when non-null.
+  PushOutcome push(int session, const RgbImage& frame, std::uint64_t* sequence = nullptr);
 
   /// Pops at most one ready frame per open session (in session-id order)
   /// into `batch` and builds the matching Feed list. Returns the number of

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/profiler.hpp"
+
 namespace slj::ingest {
 
 IngestService::IngestService(const pose::PoseDbnClassifier& classifier,
@@ -28,6 +30,9 @@ int IngestService::open_session(const RgbImage& background, IngestSessionConfig 
     }
     sinks_[static_cast<std::size_t>(id)] = std::move(sink);
   }
+  if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
+    tap->on_open(router_.now(), id, config, background);
+  }
   return id;
 }
 
@@ -39,11 +44,15 @@ PushOutcome IngestService::push(int session, const RgbImage& frame) {
   // immediately balanced with note_completed below.
   admitted_.fetch_add(1, std::memory_order_relaxed);
   PushOutcome outcome;
+  std::uint64_t sequence = 0;
   try {
-    outcome = router_.push(session, frame);
+    outcome = router_.push(session, frame, &sequence);
   } catch (...) {
     note_completed(1);  // unknown id: balance the attempt, then rethrow
     throw;
+  }
+  if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
+    tap->on_push(router_.now(), session, frame, outcome, sequence);
   }
   if (push_accepted(outcome)) {
     if (outcome == PushOutcome::kReplacedOldest) {
@@ -106,10 +115,22 @@ void IngestService::scheduler_loop() {
 }
 
 std::size_t IngestService::pass_locked() {
-  const std::size_t count = router_.drain(batch_);
+  SLJ_PROFILE_SCOPE(core::ProfileStage::kPass);
+  std::size_t count;
+  {
+    SLJ_PROFILE_SCOPE(core::ProfileStage::kDrain);
+    count = router_.drain(batch_);
+  }
   if (count > 0) {
-    manager_.tick_into(batch_.feeds, updates_);
+    {
+      SLJ_PROFILE_SCOPE(core::ProfileStage::kTick);
+      manager_.tick_into(batch_.feeds, updates_);
+    }
     router_.metrics().on_tick();
+    if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
+      tap->on_tick(router_.now(), batch_, updates_, count);
+    }
+    SLJ_PROFILE_SCOPE(core::ProfileStage::kDeliver);
     deliver_locked(count);
     note_completed(count);
   }
@@ -154,6 +175,9 @@ void IngestService::evict_idle_locked() {
     const core::JumpReport report = router_.close(id, &discarded);
     if (discarded > 0) note_completed(discarded);
     router_.metrics().on_eviction();
+    if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
+      tap->on_close(router_.now(), id, report, discarded, /*evicted=*/true);
+    }
     EvictionSink sink;
     {
       std::lock_guard<std::mutex> lock(sinks_mutex_);
@@ -201,6 +225,9 @@ core::JumpReport IngestService::close_session(int session) {
   std::uint64_t discarded = 0;
   const core::JumpReport report = router_.close(session, &discarded);
   if (discarded > 0) note_completed(discarded);
+  if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
+    tap->on_close(router_.now(), session, report, discarded, /*evicted=*/false);
+  }
   return report;
 }
 

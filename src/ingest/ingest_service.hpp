@@ -32,6 +32,7 @@
 
 #include "core/stream_engine.hpp"
 #include "ingest/ingest_router.hpp"
+#include "ingest/ingest_tap.hpp"
 
 namespace slj::ingest {
 
@@ -96,6 +97,12 @@ class IngestService {
 
   void set_eviction_sink(EvictionSink sink);
 
+  /// Installs (or clears, with null) the record/replay tap. Install before
+  /// traffic starts: the pointer itself is swapped atomically, but a tap
+  /// installed mid-run would see a torn prefix of the run — open records
+  /// missing for already-open sessions — which the replayer rejects.
+  void set_tap(IngestTap* tap) { tap_.store(tap, std::memory_order_release); }
+
   std::size_t open_sessions() const { return router_.open_sessions(); }
   IngestMetricsSnapshot metrics() { return router_.snapshot(); }
   IngestRouter& router() { return router_; }
@@ -126,6 +133,10 @@ class IngestService {
   std::mutex sinks_mutex_;
   std::vector<Sink> sinks_;
   EvictionSink eviction_sink_;
+
+  /// Record/replay tap; null when not recording. Producer threads read it
+  /// with acquire loads on every push.
+  std::atomic<IngestTap*> tap_{nullptr};
 
   /// Flush accounting: admitted counts push *attempts* (bumped before the
   /// queue insert, so it can never lag the physical queue state), completed

@@ -1,0 +1,168 @@
+// The .sljtrace container: a live ingest run serialized as a versioned
+// stream of length-prefixed binary records, so any production incident can
+// be re-driven later as a deterministic regression test.
+//
+// Layout (all integers little-endian):
+//
+//   8 bytes   magic "SLJTRACE"
+//   u32       version (kTraceVersion)
+//   repeated  records:  u32 payload_length | u8 type | payload
+//
+// This is the clip_io framing idiom (magic + version up front, hard
+// validation on load) applied to a binary stream: a reader can skip record
+// types it does not know, and every length is bounds-checked against
+// kMaxRecordBytes before any allocation, so truncated files, bit-flipped
+// headers and oversized length prefixes all fail with std::runtime_error —
+// never UB (pinned by the fuzz tests in tests/test_replay.cpp).
+//
+// Record types — together they fully determine a run:
+//   kOpen     session opened: timestamp, id, queue+session config, background
+//   kPush     one push attempt: timestamp, id, outcome, queue sequence, frame
+//   kTick     one scheduler round: per-entry (session, sequence) provenance
+//             plus the full StreamUpdate it produced (the golden output)
+//   kClose    session closed/evicted: final JumpReport + discarded count
+//   kSummary  final IngestMetrics totals (the drop-accounting golden record)
+//
+// Frame payloads are run-length encoded per pixel run when that is smaller
+// than raw RGB (synthetic studio footage compresses ~50×), so a mini trace
+// corpus is cheap to check into the repository.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/faults.hpp"
+#include "core/stream_engine.hpp"
+#include "imaging/image.hpp"
+#include "ingest/ingest_router.hpp"
+
+namespace slj::replay {
+
+inline constexpr char kTraceMagic[8] = {'S', 'L', 'J', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+/// Upper bound on one record's payload; a length prefix beyond it is
+/// rejected before any buffer is sized from it.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;  // 64 MiB
+/// Upper bound on a traced frame's width/height (matches image_io's cap).
+inline constexpr std::uint32_t kMaxTraceImageDimension = 1u << 15;
+
+enum class RecordType : std::uint8_t {
+  kOpen = 1,
+  kPush = 2,
+  kTick = 3,
+  kClose = 4,
+  kSummary = 5,
+};
+
+/// The slice of IngestSessionConfig a trace preserves — everything the
+/// replayer needs to rebuild the session. (PipelineParams and the trained
+/// model are deliberately *not* stored: replay must be given the same
+/// classifier/params the recording ran with, exactly like any golden test.)
+struct TraceSessionConfig {
+  std::uint64_t queue_capacity = 8;
+  ingest::BackpressurePolicy policy = ingest::BackpressurePolicy::kDropOldest;
+  double rate_tokens_per_second = 0.0;
+  double rate_burst = 1.0;
+  std::int64_t idle_timeout_ns = 0;
+  core::StreamDecoder decoder = core::StreamDecoder::kOnline;
+  bool use_tracker = false;
+  int lift_threshold_px = 3;
+  int ground_calibration_frames = core::GroundMonitor::kDefaultCalibrationFrames;
+};
+
+TraceSessionConfig to_trace_config(const ingest::IngestSessionConfig& config);
+core::StreamSessionConfig to_stream_config(const TraceSessionConfig& config);
+
+/// Timestamps are nanoseconds relative to the recording's first event.
+struct OpenRecord {
+  std::int64_t t_ns = 0;
+  int session = -1;
+  TraceSessionConfig config;
+  RgbImage background;
+};
+
+struct PushRecord {
+  std::int64_t t_ns = 0;
+  int session = -1;
+  ingest::PushOutcome outcome = ingest::PushOutcome::kAccepted;
+  /// Queue admission index; meaningful only when push_accepted(outcome).
+  std::uint64_t sequence = 0;
+  /// The offered pixels. Stored only for admitted frames (a refused frame
+  /// never influences the run); empty() otherwise.
+  RgbImage frame;
+};
+
+struct TickEntry {
+  int session = -1;
+  std::uint64_t sequence = 0;       ///< which admitted frame advanced the session
+  core::StreamUpdate update;        ///< the golden output for that frame
+};
+
+struct TickRecord {
+  std::int64_t t_ns = 0;
+  std::vector<TickEntry> entries;
+};
+
+struct CloseRecord {
+  std::int64_t t_ns = 0;
+  int session = -1;
+  bool evicted = false;             ///< idle-timeout eviction vs explicit close
+  std::uint64_t discarded = 0;      ///< queued frames dropped un-analysed
+  core::JumpReport report;          ///< the golden final report
+};
+
+struct SummaryRecord {
+  std::int64_t t_ns = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_oldest = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t closed_pushes = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t evicted_sessions = 0;
+};
+
+using TraceRecord = std::variant<OpenRecord, PushRecord, TickRecord, CloseRecord, SummaryRecord>;
+
+struct Trace {
+  std::uint32_t version = kTraceVersion;
+  std::vector<TraceRecord> records;
+};
+
+/// Streaming writer: header on open, one length-prefixed record per
+/// append(). Not internally synchronized (TraceRecorder serializes).
+/// Throws std::runtime_error on I/O failure.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  void append(const TraceRecord& record);
+
+  /// Flushes and closes the stream; append() is invalid afterwards.
+  void finish();
+
+ private:
+  std::string path_;
+  void* out_ = nullptr;  ///< std::ofstream, kept out of the header
+  std::string scratch_;  ///< payload assembly buffer, reused per record
+};
+
+/// Serializes one record as payload bytes (without the length/type prefix).
+/// Exposed for tests that craft corrupt records.
+std::string encode_record(const TraceRecord& record);
+
+/// Loads a whole trace into memory. Unknown record types are skipped (a
+/// newer writer's trace still replays); any structural violation —
+/// truncation, bad magic/version, oversized length prefix, malformed
+/// payload — throws std::runtime_error.
+Trace load_trace(const std::string& path);
+
+/// Writes `trace` with TraceWriter framing (round-trip of load_trace).
+void save_trace(const Trace& trace, const std::string& path);
+
+}  // namespace slj::replay

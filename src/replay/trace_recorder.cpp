@@ -1,0 +1,96 @@
+#include "replay/trace_recorder.hpp"
+
+#include <chrono>
+
+namespace slj::replay {
+
+TraceRecorder::TraceRecorder(const std::string& path) : writer_(path) {}
+
+std::int64_t TraceRecorder::relative_ns(ingest::Clock::time_point now) {
+  // Anchored on the first event so the trace carries only event spacing,
+  // never an absolute epoch. Callers hold mutex_.
+  if (!t0_) t0_ = now;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - *t0_).count();
+}
+
+void TraceRecorder::on_open(ingest::Clock::time_point now, int session,
+                            const ingest::IngestSessionConfig& config,
+                            const RgbImage& background) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenRecord record;
+  record.t_ns = relative_ns(now);
+  record.session = session;
+  record.config = to_trace_config(config);
+  record.background = background;
+  writer_.append(record);
+  ++events_;
+}
+
+void TraceRecorder::on_push(ingest::Clock::time_point now, int session, const RgbImage& frame,
+                            ingest::PushOutcome outcome, std::uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PushRecord record;
+  record.t_ns = relative_ns(now);
+  record.session = session;
+  record.outcome = outcome;
+  record.sequence = sequence;
+  // A refused frame never influenced the run — store only the verdict and
+  // keep the (potentially large) pixels out of the trace.
+  if (ingest::push_accepted(outcome)) record.frame = frame;
+  writer_.append(record);
+  ++events_;
+}
+
+void TraceRecorder::on_tick(ingest::Clock::time_point now, const ingest::DrainBatch& batch,
+                            const std::vector<core::StreamUpdate>& updates, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TickRecord record;
+  record.t_ns = relative_ns(now);
+  record.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TickEntry entry;
+    entry.session = batch.feeds[i].session;
+    entry.sequence = batch.pending(i).sequence;
+    entry.update = updates[i];
+    record.entries.push_back(std::move(entry));
+  }
+  writer_.append(record);
+  ++events_;
+}
+
+void TraceRecorder::on_close(ingest::Clock::time_point now, int session,
+                             const core::JumpReport& report, std::uint64_t discarded,
+                             bool evicted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CloseRecord record;
+  record.t_ns = relative_ns(now);
+  record.session = session;
+  record.evicted = evicted;
+  record.discarded = discarded;
+  record.report = report;
+  writer_.append(record);
+  ++events_;
+}
+
+void TraceRecorder::finish(const ingest::IngestMetricsSnapshot& metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SummaryRecord record;  // t_ns stays 0: the summary carries totals, not an event time
+  record.pushed = metrics.pushed;
+  record.delivered = metrics.delivered;
+  record.dropped_oldest = metrics.dropped_oldest;
+  record.rejected = metrics.rejected;
+  record.rate_limited = metrics.rate_limited;
+  record.closed_pushes = metrics.closed_pushes;
+  record.discarded = metrics.discarded;
+  record.ticks = metrics.ticks;
+  record.evicted_sessions = metrics.evicted_sessions;
+  writer_.append(record);
+  writer_.finish();
+}
+
+std::uint64_t TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace slj::replay

@@ -1,0 +1,58 @@
+// TraceRecorder: the IngestTap that turns a live ingest run into a
+// .sljtrace file. Install it on an IngestService *before* traffic starts
+// (service.set_tap(&recorder)); every open / push / tick / close event is
+// appended to the trace as it happens, and finish() seals the file with the
+// final metrics summary — the golden drop-accounting record the replayer
+// cross-checks against.
+//
+// Timestamps are recorded relative to the first event, so a trace replays
+// under fully virtualized time: wall-clock never leaks into the file beyond
+// event spacing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "ingest/ingest_tap.hpp"
+#include "replay/trace_format.hpp"
+
+namespace slj::replay {
+
+class TraceRecorder : public ingest::IngestTap {
+ public:
+  /// Opens `path` for streaming writes (throws std::runtime_error on I/O
+  /// failure, like TraceWriter).
+  explicit TraceRecorder(const std::string& path);
+
+  // IngestTap — called by IngestService; serialized here because on_push
+  // arrives from arbitrary producer threads.
+  void on_open(ingest::Clock::time_point now, int session,
+               const ingest::IngestSessionConfig& config, const RgbImage& background) override;
+  void on_push(ingest::Clock::time_point now, int session, const RgbImage& frame,
+               ingest::PushOutcome outcome, std::uint64_t sequence) override;
+  void on_tick(ingest::Clock::time_point now, const ingest::DrainBatch& batch,
+               const std::vector<core::StreamUpdate>& updates, std::size_t count) override;
+  void on_close(ingest::Clock::time_point now, int session, const core::JumpReport& report,
+                std::uint64_t discarded, bool evicted) override;
+
+  /// Appends the summary record from a quiescent plane's metrics snapshot
+  /// and seals the file. Call after flush()/close_session of every session,
+  /// with the tap uninstalled or traffic stopped. Idempotent is not
+  /// attempted: call exactly once.
+  void finish(const ingest::IngestMetricsSnapshot& metrics);
+
+  /// Events appended so far (excluding the summary).
+  std::uint64_t events() const;
+
+ private:
+  std::int64_t relative_ns(ingest::Clock::time_point now);
+
+  mutable std::mutex mutex_;
+  TraceWriter writer_;
+  std::optional<ingest::Clock::time_point> t0_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace slj::replay

@@ -1,0 +1,261 @@
+#include "replay/trace_replayer.hpp"
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/stream_engine.hpp"
+
+namespace slj::replay {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("replay: corrupt trace: " + what);
+}
+
+/// What the recorded push outcomes say entered one session's queue. Filled
+/// in pass 1, because the recorder's push-vs-tick race means an admitted
+/// push may be logged after the tick — or even the close — that follows it.
+struct PushTotals {
+  std::uint64_t admitted = 0;  ///< pushes that entered the queue
+  std::uint64_t replaced = 0;  ///< admitted frames later shed by drop-oldest
+};
+
+/// Replay-side per-session state (pass 2, record order).
+struct SessionBook {
+  int live_id = -1;
+  bool open = false;
+  std::uint64_t delivered = 0;  ///< tick entries replayed for this session
+};
+
+bool posterior_matches(double recorded, double replayed, double tolerance) {
+  if (tolerance <= 0.0) {
+    // Bit-level: NaN payloads, signed zero and every ulp must survive.
+    return std::bit_cast<std::uint64_t>(recorded) == std::bit_cast<std::uint64_t>(replayed);
+  }
+  if (std::isnan(recorded) || std::isnan(replayed)) {
+    return std::isnan(recorded) == std::isnan(replayed);
+  }
+  return std::fabs(recorded - replayed) <= tolerance;
+}
+
+bool findings_match(const core::FaultFinding& a, const core::FaultFinding& b) {
+  return a.rule == b.rule && a.passed == b.passed && a.evidence_frames == b.evidence_frames;
+}
+
+bool reports_match(const core::JumpReport& a, const core::JumpReport& b) {
+  if (a.findings.size() != b.findings.size()) return false;
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    if (!findings_match(a.findings[i], b.findings[i])) return false;
+  }
+  return true;
+}
+
+/// "" when the updates agree; otherwise which field diverged first.
+std::string update_divergence(const core::StreamUpdate& recorded,
+                              const core::StreamUpdate& replayed, double tolerance) {
+  if (recorded.frame_index != replayed.frame_index) return "frame_index";
+  if (recorded.airborne != replayed.airborne) return "airborne";
+  if (recorded.result.pose != replayed.result.pose) return "result.pose";
+  if (recorded.result.best_pose != replayed.result.best_pose) return "result.best_pose";
+  if (recorded.result.stage != replayed.result.stage) return "result.stage";
+  if (recorded.result.candidate_index != replayed.result.candidate_index) {
+    return "result.candidate_index";
+  }
+  if (!posterior_matches(recorded.result.posterior, replayed.result.posterior, tolerance)) {
+    return "result.posterior";
+  }
+  if (recorded.resolved.size() != replayed.resolved.size()) return "resolved.size";
+  for (std::size_t i = 0; i < recorded.resolved.size(); ++i) {
+    if (recorded.resolved[i].frame != replayed.resolved[i].frame ||
+        !findings_match(recorded.resolved[i].finding, replayed.resolved[i].finding)) {
+      return "resolved[" + std::to_string(i) + "]";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+TraceReplayer::TraceReplayer(const pose::PoseDbnClassifier& classifier,
+                             core::PipelineParams params, ReplayOptions options)
+    : classifier_(&classifier), params_(std::move(params)), options_(options) {}
+
+ReplayResult TraceReplayer::replay_file(const std::string& path) const {
+  return replay(load_trace(path));
+}
+
+ReplayResult TraceReplayer::replay(const Trace& trace) const {
+  ReplayResult result;
+  const auto note = [&result](std::uint64_t& counter, std::string text) {
+    ++counter;
+    if (result.mismatches.size() < ReplayResult::kMaxMismatchDetails) {
+      result.mismatches.push_back(std::move(text));
+    }
+  };
+
+  // Pass 1: index every admitted frame by (session, sequence) and total up
+  // the recorded push outcomes. Indexing first makes the replay immune to
+  // the recorder's benign push-vs-tick ordering race: a producer thread can
+  // log its push *after* the scheduler logged the tick that consumed the
+  // frame, so a tick may legally reference a frame that appears later in
+  // the file.
+  std::map<std::pair<int, std::uint64_t>, const RgbImage*> frames;
+  std::map<int, PushTotals> push_totals;
+  SummaryRecord totals;  // recomputed; compared against the recorded summary
+  for (const TraceRecord& record : trace.records) {
+    if (const auto* push = std::get_if<PushRecord>(&record)) {
+      switch (push->outcome) {
+        case ingest::PushOutcome::kReplacedOldest:
+          ++totals.dropped_oldest;
+          ++push_totals[push->session].replaced;
+          [[fallthrough]];
+        case ingest::PushOutcome::kAccepted: {
+          ++totals.pushed;
+          ++push_totals[push->session].admitted;
+          if (push->frame.empty()) corrupt("admitted push carries no frame");
+          const auto key = std::make_pair(push->session, push->sequence);
+          if (!frames.emplace(key, &push->frame).second) {
+            corrupt("duplicate frame (session " + std::to_string(push->session) +
+                    ", sequence " + std::to_string(push->sequence) + ")");
+          }
+          break;
+        }
+        case ingest::PushOutcome::kRejected: ++totals.rejected; break;
+        case ingest::PushOutcome::kRateLimited: ++totals.rate_limited; break;
+        case ingest::PushOutcome::kClosed: ++totals.closed_pushes; break;
+      }
+    }
+  }
+
+  // Pass 2: re-drive the deterministic analysis plane in record order.
+  core::StreamManagerConfig manager_config;
+  manager_config.workers = options_.workers;
+  core::StreamManager manager(*classifier_, params_, manager_config);
+  std::vector<SessionBook> books;  // index = recorded session id
+  std::vector<core::StreamManager::Feed> feeds;
+  std::vector<core::StreamUpdate> updates;
+
+  const auto book_of = [&books](int session) -> SessionBook& {
+    if (session < 0 || static_cast<std::size_t>(session) >= books.size() ||
+        !books[static_cast<std::size_t>(session)].open) {
+      corrupt("record references session " + std::to_string(session) +
+              " which is not open at that point");
+    }
+    return books[static_cast<std::size_t>(session)];
+  };
+
+  for (const TraceRecord& record : trace.records) {
+    std::visit(
+        [&](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if (r.t_ns > result.recorded_span_ns) result.recorded_span_ns = r.t_ns;
+
+          if constexpr (std::is_same_v<T, OpenRecord>) {
+            if (static_cast<std::size_t>(r.session) >= books.size()) {
+              books.resize(static_cast<std::size_t>(r.session) + 1);
+            }
+            SessionBook& book = books[static_cast<std::size_t>(r.session)];
+            if (book.open) corrupt("session " + std::to_string(r.session) + " opened twice");
+            book = SessionBook{};
+            book.live_id = manager.open_session(r.background, to_stream_config(r.config));
+            book.open = true;
+            ++result.sessions_opened;
+
+          } else if constexpr (std::is_same_v<T, PushRecord>) {
+            // Fully accounted in pass 1 — deliberately position-independent,
+            // since a producer thread may log its push after the tick (or
+            // even the close) that consumed the frame.
+
+          } else if constexpr (std::is_same_v<T, TickRecord>) {
+            feeds.clear();
+            for (const TickEntry& entry : r.entries) {
+              SessionBook& book = book_of(entry.session);
+              const auto it = frames.find(std::make_pair(entry.session, entry.sequence));
+              if (it == frames.end()) {
+                corrupt("tick references unrecorded frame (session " +
+                        std::to_string(entry.session) + ", sequence " +
+                        std::to_string(entry.sequence) + ")");
+              }
+              feeds.push_back({book.live_id, it->second});
+              ++book.delivered;
+            }
+            if (!feeds.empty()) {
+              manager.tick_into(feeds, updates);
+              for (std::size_t i = 0; i < r.entries.size(); ++i) {
+                const std::string field = update_divergence(r.entries[i].update, updates[i],
+                                                            options_.posterior_tolerance);
+                if (!field.empty()) {
+                  note(result.update_mismatches,
+                       "tick " + std::to_string(result.ticks) + " session " +
+                           std::to_string(r.entries[i].session) + " frame " +
+                           std::to_string(r.entries[i].update.frame_index) +
+                           ": " + field + " diverged");
+                } else {
+                  ++result.frames_replayed;
+                }
+              }
+            }
+            ++result.ticks;
+            ++totals.ticks;
+
+          } else if constexpr (std::is_same_v<T, CloseRecord>) {
+            SessionBook& book = book_of(r.session);
+            const core::JumpReport replayed = manager.close_session(book.live_id);
+            book.open = false;
+            ++result.sessions_closed;
+            if (r.evicted) ++totals.evicted_sessions;
+            if (!reports_match(r.report, replayed)) {
+              note(result.report_mismatches,
+                   "session " + std::to_string(r.session) + ": final JumpReport diverged");
+            }
+            // Re-balance this session's books: whatever was admitted but
+            // neither shed by drop-oldest nor delivered must equal the
+            // recorded discard count.
+            const PushTotals& pushes = push_totals[r.session];
+            const std::uint64_t expected = pushes.admitted - pushes.replaced - book.delivered;
+            if (expected != r.discarded) {
+              note(result.accounting_mismatches,
+                   "session " + std::to_string(r.session) + ": recorded " +
+                       std::to_string(r.discarded) + " discarded frames, push/tick records" +
+                       " imply " + std::to_string(expected));
+            }
+            totals.discarded += r.discarded;
+
+          } else if constexpr (std::is_same_v<T, SummaryRecord>) {
+            result.has_summary = true;
+            totals.delivered = 0;
+            for (const SessionBook& book : books) totals.delivered += book.delivered;
+            const auto check = [&](const char* name, std::uint64_t recorded,
+                                   std::uint64_t recomputed) {
+              if (recorded != recomputed) {
+                note(result.accounting_mismatches,
+                     std::string("summary ") + name + ": recorded " +
+                         std::to_string(recorded) + ", recomputed " +
+                         std::to_string(recomputed));
+              }
+            };
+            check("pushed", r.pushed, totals.pushed);
+            check("delivered", r.delivered, totals.delivered);
+            check("dropped_oldest", r.dropped_oldest, totals.dropped_oldest);
+            check("rejected", r.rejected, totals.rejected);
+            check("rate_limited", r.rate_limited, totals.rate_limited);
+            check("closed_pushes", r.closed_pushes, totals.closed_pushes);
+            check("discarded", r.discarded, totals.discarded);
+            check("ticks", r.ticks, totals.ticks);
+            check("evicted_sessions", r.evicted_sessions, totals.evicted_sessions);
+            // The plane's conservation law, re-proved on every replay.
+            check("pushed == delivered + dropped_oldest + discarded", r.pushed,
+                  totals.delivered + totals.dropped_oldest + totals.discarded);
+          }
+        },
+        record);
+  }
+
+  return result;
+}
+
+}  // namespace slj::replay

@@ -18,6 +18,12 @@ std::string frame_name(int index) {
   return buf;
 }
 
+/// Largest accepted manifest frame count. Real clips are a few seconds at
+/// camera rate (tens of frames); a manifest claiming more is corrupt or
+/// hostile, and rejecting it keeps a flipped digit from turning the
+/// truth/frame reserves below into giant allocations.
+constexpr int kMaxClipFrames = 100000;
+
 }  // namespace
 
 void save_clip(const Clip& clip, const std::string& dir) {
@@ -61,7 +67,8 @@ Clip load_clip(const std::string& dir) {
   std::string tag;
   int frames = 0;
   Clip clip;
-  if (!(manifest >> tag >> frames) || tag != "frames" || frames < 0) {
+  if (!(manifest >> tag >> frames) || tag != "frames" || frames < 0 ||
+      frames > kMaxClipFrames) {
     throw std::runtime_error("bad frame count in " + dir);
   }
   if (!(manifest >> tag >> clip.seed) || tag != "seed") {
@@ -90,8 +97,12 @@ Clip load_clip(const std::string& dir) {
             t.parts.foot.y >> t.parts.waist.x >> t.parts.waist.y)) {
         throw std::runtime_error("truncated truth in " + dir);
       }
-      t.pose = pose::pose_from_index(pose_idx);
-      t.stage = pose::stage_from_index(stage_idx);
+      try {
+        t.pose = pose::pose_from_index(pose_idx);
+        t.stage = pose::stage_from_index(stage_idx);
+      } catch (const std::out_of_range&) {
+        throw std::runtime_error("corrupt truth indices in " + dir);
+      }
       t.airborne = airborne != 0;
       clip.truth.push_back(t);
     }

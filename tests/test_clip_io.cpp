@@ -107,6 +107,48 @@ TEST_F(ClipIoTest, TruncatedTruthThrows) {
   EXPECT_THROW(load_clip(path("trunc")), std::runtime_error);
 }
 
+TEST_F(ClipIoTest, AbsurdFrameCountIsRejectedBeforeAllocation) {
+  // A flipped digit in the manifest must not become a multi-gigabyte
+  // reserve; load_clip caps the claimed frame count up front.
+  std::filesystem::create_directories(path("huge"));
+  std::ofstream out(path("huge") + "/manifest.txt");
+  out << "slj-clip 1\nframes 2000000000\nseed 1\nfaults 0 0 0 0\ntruth 1\n";
+  out.close();
+  EXPECT_THROW(load_clip(path("huge")), std::runtime_error);
+}
+
+TEST_F(ClipIoTest, NegativeFrameCountThrows) {
+  std::filesystem::create_directories(path("neg"));
+  std::ofstream out(path("neg") + "/manifest.txt");
+  out << "slj-clip 1\nframes -3\nseed 1\nfaults 0 0 0 0\ntruth 0\n";
+  out.close();
+  EXPECT_THROW(load_clip(path("neg")), std::runtime_error);
+}
+
+TEST_F(ClipIoTest, ManifestBitFlipsNeverCrash) {
+  // Flip each byte of a valid manifest in turn: every variant must either
+  // load or throw std::runtime_error — never crash or trip sanitizers.
+  save_clip(generate_clip(small_spec(3, 4)), path("flip"));
+  const std::string mpath = path("flip") + "/manifest.txt";
+  std::ifstream in(mpath, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  int rejected = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string mutated = text;
+    mutated[i] ^= 0x11;
+    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
+    out << mutated;
+    out.close();
+    try {
+      (void)load_clip(path("flip"));
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
 TEST_F(ClipIoTest, DatasetRoundTrip) {
   DatasetSpec spec;
   spec.seed = 9;

@@ -74,6 +74,52 @@ TEST_F(ImageIoTest, CommentsInHeaderAreSkipped) {
   EXPECT_EQ(img.at(1, 0), 'B');
 }
 
+TEST_F(ImageIoTest, OversizedHeaderDimensionsAreRejectedBeforeAllocation) {
+  // A hostile or bit-flipped header claiming a giant image must throw a
+  // clean error instead of attempting a multi-gigabyte allocation.
+  std::ofstream pgm(path("huge.pgm"), std::ios::binary);
+  pgm << "P5\n2000000000 2000000000\n255\nxx";
+  pgm.close();
+  EXPECT_THROW(read_pgm(path("huge.pgm")), std::runtime_error);
+
+  std::ofstream ppm(path("huge.ppm"), std::ios::binary);
+  ppm << "P6\n4 1000000000\n255\nxx";
+  ppm.close();
+  EXPECT_THROW(read_ppm(path("huge.ppm")), std::runtime_error);
+}
+
+TEST_F(ImageIoTest, NegativeHeaderDimensionsThrow) {
+  std::ofstream out(path("neg.pgm"), std::ios::binary);
+  out << "P5\n-4 4\n255\nxxxx";
+  out.close();
+  EXPECT_THROW(read_pgm(path("neg.pgm")), std::runtime_error);
+}
+
+TEST_F(ImageIoTest, HeaderBitFlipsNeverCrash) {
+  // Fuzz-style sweep: flip each byte of a small valid PPM in turn; every
+  // variant must either load or throw — never crash or trip sanitizers.
+  RgbImage img(4, 3);
+  for (std::size_t i = 0; i < img.data().size(); ++i) {
+    img.data()[i] = {static_cast<std::uint8_t>(i), 0, static_cast<std::uint8_t>(255 - i)};
+  }
+  write_ppm(img, path("flip.ppm"));
+  std::ifstream in(path("flip.ppm"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0xff;
+    std::ofstream out(path("flip.ppm"), std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    try {
+      (void)read_ppm(path("flip.ppm"));
+    } catch (const std::runtime_error&) {
+      // rejected cleanly — fine
+    }
+  }
+}
+
 TEST_F(ImageIoTest, WriteToInvalidPathThrows) {
   GrayImage img(2, 2);
   EXPECT_THROW(write_pgm(img, "/nonexistent_dir_xyz/out.pgm"), std::runtime_error);

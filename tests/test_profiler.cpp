@@ -1,0 +1,170 @@
+// Hierarchical profiler tests. The Profiler class is always compiled (only
+// the SLJ_PROFILE_SCOPE instrumentation points are build-gated), so these
+// tests drive aggregation, the runtime enable gate, the stage tree and the
+// JSON snapshot directly — they hold in both default and
+// -DSLJ_ENABLE_PROFILER=ON builds. Tests reset the process-global singleton
+// and restore the enabled flag, since gtest shares it across cases.
+#include "core/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ingest/ingest_metrics.hpp"
+
+namespace slj::core {
+namespace {
+
+/// Resets the singleton around each test and restores the build's default
+/// enabled state afterwards.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().reset();
+    Profiler::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Profiler::instance().reset();
+    Profiler::instance().set_enabled(Profiler::compiled_in());
+  }
+};
+
+const ProfileStageSnapshot* find_stage(const ProfilerSnapshot& snap, const char* name) {
+  for (const ProfileStageSnapshot& s : snap.stages) {
+    if (std::string(s.stage) == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, RecordAggregatesCallsTotalsAndMax) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kExtract, 1000);
+  p.record(ProfileStage::kExtract, 3000);
+  p.record(ProfileStage::kExtract, 2000);
+
+  const ProfilerSnapshot snap = p.snapshot();
+  const ProfileStageSnapshot* extract = find_stage(snap, "extract");
+  ASSERT_NE(extract, nullptr);
+  EXPECT_EQ(extract->calls, 3u);
+  EXPECT_DOUBLE_EQ(extract->total_ms, 6000.0 / 1e6);
+  EXPECT_DOUBLE_EQ(extract->avg_us, 2.0);
+  EXPECT_DOUBLE_EQ(extract->max_us, 3.0);
+}
+
+TEST_F(ProfilerTest, SnapshotOmitsStagesWithoutCalls) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kThin, 500);
+  const ProfilerSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.stages.size(), 1u);
+  EXPECT_STREQ(snap.stages[0].stage, "thin");
+  EXPECT_STREQ(snap.stages[0].parent, "frame");
+}
+
+TEST_F(ProfilerTest, ShareOfParentFollowsTheStageTree) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kPass, 10000);
+  p.record(ProfileStage::kTick, 8000);
+  p.record(ProfileStage::kFrame, 6000);
+  p.record(ProfileStage::kExtract, 3000);
+
+  const ProfilerSnapshot snap = p.snapshot();
+  const ProfileStageSnapshot* pass = find_stage(snap, "pass");
+  const ProfileStageSnapshot* tick = find_stage(snap, "tick");
+  const ProfileStageSnapshot* frame = find_stage(snap, "frame");
+  const ProfileStageSnapshot* extract = find_stage(snap, "extract");
+  ASSERT_NE(pass, nullptr);
+  ASSERT_NE(tick, nullptr);
+  ASSERT_NE(frame, nullptr);
+  ASSERT_NE(extract, nullptr);
+  EXPECT_DOUBLE_EQ(pass->share_of_parent, 1.0);     // root
+  EXPECT_DOUBLE_EQ(tick->share_of_parent, 0.8);     // tick / pass
+  EXPECT_DOUBLE_EQ(frame->share_of_parent, 0.75);   // frame / tick
+  EXPECT_DOUBLE_EQ(extract->share_of_parent, 0.5);  // extract / frame
+}
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothingThroughScopes) {
+  Profiler& p = Profiler::instance();
+  p.set_enabled(false);
+  { ProfileScope scope(ProfileStage::kDecode); }
+  EXPECT_TRUE(p.snapshot().stages.empty());
+
+  p.set_enabled(true);
+  { ProfileScope scope(ProfileStage::kDecode); }
+  const ProfilerSnapshot snap = p.snapshot();
+  const ProfileStageSnapshot* decode = find_stage(snap, "decode");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_EQ(decode->calls, 1u);
+}
+
+TEST_F(ProfilerTest, ScopeArmsAtConstructionNotDestruction) {
+  Profiler& p = Profiler::instance();
+  p.set_enabled(false);
+  {
+    ProfileScope scope(ProfileStage::kFeatures);
+    p.set_enabled(true);  // too late: the scope was born disarmed
+  }
+  EXPECT_EQ(find_stage(p.snapshot(), "features"), nullptr);
+}
+
+TEST_F(ProfilerTest, ResetZeroesEverything) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kPass, 1000);
+  p.record(ProfileStage::kDeliver, 1000);
+  EXPECT_FALSE(p.snapshot().stages.empty());
+  p.reset();
+  EXPECT_TRUE(p.snapshot().stages.empty());
+}
+
+TEST_F(ProfilerTest, JsonCarriesBuildModeAndStageRows) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kSkelGraph, 2000);
+  const std::string json = p.snapshot().to_json();
+  EXPECT_NE(json.find("\"compiled\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"skelgraph\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": \"frame\""), std::string::npos);
+  EXPECT_NE(json.find("\"share_of_parent\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, IngestMetricsJsonEmbedsTheProfilerSnapshot) {
+  Profiler& p = Profiler::instance();
+  p.record(ProfileStage::kTick, 4000);
+  ingest::IngestMetricsSnapshot snap;
+  snap.profiler = p.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"profiler\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"tick\""), std::string::npos);
+}
+
+TEST(ProfilerBuild, CompiledInMatchesTheMacroGate) {
+#if defined(SLJ_PROFILER_ENABLED) && SLJ_PROFILER_ENABLED
+  EXPECT_TRUE(Profiler::compiled_in());
+#else
+  EXPECT_FALSE(Profiler::compiled_in());
+  // In the default build the instrumentation macro must be a true no-op:
+  // even with the runtime flag forced on, it records nothing.
+  Profiler::instance().reset();
+  Profiler::instance().set_enabled(true);
+  SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
+  EXPECT_TRUE(Profiler::instance().snapshot().stages.empty());
+  Profiler::instance().set_enabled(Profiler::compiled_in());
+#endif
+}
+
+TEST(ProfileStageTree, NamesAndParentsAreClosed) {
+  for (std::size_t i = 0; i < kProfileStageCount; ++i) {
+    const auto stage = static_cast<ProfileStage>(i);
+    EXPECT_STRNE(profile_stage_name(stage), "");
+    // Walking parents must reach the root without leaving the table.
+    ProfileStage cursor = stage;
+    for (int hops = 0; hops < 8; ++hops) {
+      const ProfileStage parent = profile_stage_parent(cursor);
+      if (parent == cursor) break;
+      cursor = parent;
+    }
+    EXPECT_EQ(cursor, ProfileStage::kPass) << profile_stage_name(stage);
+  }
+}
+
+}  // namespace
+}  // namespace slj::core
