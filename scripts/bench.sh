@@ -13,7 +13,7 @@
 # Usage: scripts/bench.sh [build-dir] [output.json]
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_pr6.json}"
 

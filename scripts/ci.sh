@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay]
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay|--analyze]
 #   --sanitize     Debug build with ASan+UBSan (keeps the streaming/worker-pool
 #                  concurrency sanitizer-clean).
 #   --tsan         Debug build with ThreadSanitizer (pins that per-lane
@@ -9,6 +9,15 @@
 #                  multi-producer ingest stress tests repeatedly — the
 #                  dedicated race hunt for FrameQueue/IngestRouter/
 #                  IngestService under concurrent producers.
+#   --analyze      Static-analysis lane: library build with the warning
+#                  baseline promoted to errors (-Wall -Wextra -Wshadow
+#                  -Wconversion -Werror), the slj_lint invariant linter, the
+#                  negative-compile suite (tests/test_static_analysis.cmake),
+#                  and — when clang/clang-tidy are on PATH — Clang
+#                  thread-safety analysis plus the curated .clang-tidy
+#                  profile over the exported compile database. Clang-only
+#                  steps are skipped with a note on clang-less hosts; the
+#                  portable steps still gate.
 #   --replay       ASan+UBSan build with the profiler compiled in; runs the
 #                  replay/profiler/format-fuzz suites, then replays every
 #                  checked-in golden trace through `sljtool replay` at
@@ -16,7 +25,7 @@
 #                  snapshots to <build-dir>/replay_artifacts/ for upload.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="build"
 CMAKE_ARGS=()
 MODE="full"
@@ -49,9 +58,46 @@ for arg in "$@"; do
       )
       MODE="replay"
       ;;
+    --analyze)
+      MODE="analyze"
+      ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+
+if [[ "$MODE" == "analyze" ]]; then
+  # 1. Warning baseline as errors, compile database exported. clang++ is
+  #    preferred when present so the thread-safety annotations are actually
+  #    analyzed rather than compiled away.
+  ANALYZE_ARGS=(-DCMAKE_BUILD_TYPE=Release -DSLJ_WERROR=ON
+                -DSLJ_BUILD_BENCHES=OFF -DSLJ_BUILD_EXAMPLES=OFF)
+  if command -v clang++ >/dev/null 2>&1; then
+    ANALYZE_ARGS+=(-DCMAKE_CXX_COMPILER=clang++)
+    echo "analyze: using clang++ (thread-safety analysis active)"
+  else
+    echo "analyze: clang++ not found; building with the default compiler" \
+         "(thread-safety annotations compile away — see core/annotations.hpp)"
+  fi
+  cmake -B "$BUILD_DIR" -S . "${ANALYZE_ARGS[@]}"
+  cmake --build "$BUILD_DIR" -j --target slj
+
+  # 2. Repo-specific invariant linter (pure Python: runs everywhere).
+  python3 scripts/lint/slj_lint.py --root .
+
+  # 3. Negative-compile + linter-fixture suite: proves the gates actually
+  #    reject violations, not just that clean code passes.
+  cmake -DSLJ_BUILD_DIR="$BUILD_DIR" -P tests/test_static_analysis.cmake
+
+  # 4. clang-tidy over the library sources, when available.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+    clang-tidy -p "$BUILD_DIR" --quiet "${tidy_sources[@]}"
+  else
+    echo "analyze: clang-tidy not found; skipping the .clang-tidy profile"
+  fi
+  echo "analyze: all gates passed"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 if [[ "$MODE" == "replay" ]]; then
@@ -93,6 +139,6 @@ elif [[ "$MODE" == "tsan-stress" ]]; then
     --gtest_repeat=5
 else
   cmake --build "$BUILD_DIR" -j
-  cd "$BUILD_DIR"
+  cd "$BUILD_DIR" || exit 1
   ctest --output-on-failure -j "$(nproc)"
 fi

@@ -1,0 +1,533 @@
+#!/usr/bin/env python3
+"""slj_lint: repo-specific invariant linter for the slj codebase.
+
+Enforces three invariants the compiler cannot see:
+
+  hot-path-alloc   Functions marked SLJ_HOT_PATH (the steady-state per-frame
+                   kernels: *_into, tick_into, process_into) must not allocate.
+                   Banned outright: new expressions, the malloc family,
+                   make_unique/make_shared, std::to_string, and by-value
+                   locals of owning container types. Growth calls
+                   (push_back/emplace_back/resize/resize_discard/assign/
+                   reserve/insert/append) are allowed only when the receiver
+                   is rooted in a reference parameter or a local reference
+                   alias — the sanctioned recycled-workspace idiom
+                   (`auto& cand = ws.thin_candidates_first;`). `throw`
+                   statements are exempt: they are the cold error path.
+
+  unchecked-read   Deserializer functions (image_io.cpp, clip_io.cpp,
+                   trace_format.cpp) that size containers from decoded
+                   values must carry a guard in the same function body:
+                   a kMax* cap, need()/fail()/check_* calls, or a throw.
+                   Attacker-controlled lengths must never reach resize()
+                   unchecked.
+
+  naked-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                   std::scoped_lock / std::condition_variable are banned in
+                   src/ outside core/annotations.hpp. All locking goes
+                   through slj::Mutex / slj::LockGuard / slj::CondVar so
+                   Clang thread-safety analysis sees every acquisition.
+
+Engines:
+  lexical (default)  Pure Python, token-level; runs anywhere.
+  ast (experimental) Drives `clang++ -ast-dump=json` through
+                     compile_commands.json for the hot-path-alloc rule
+                     (new-expressions and owning-container constructions are
+                     found structurally); the other rules stay lexical.
+                     Requires clang; exits 2 when it is missing.
+
+Suppression: append `// slj-lint: allow(<rule>)` to the offending line or
+the line above it. Use sparingly; every suppression is grep-able.
+
+Exit status: 0 clean, 1 findings, 2 usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+RULES = ("hot-path-alloc", "unchecked-read", "naked-mutex")
+
+HOT_PATH_MARKER = "SLJ_HOT_PATH"
+
+# Deserializer files subject to the unchecked-read rule (repo-relative).
+DESERIALIZER_FILES = {
+    "src/imaging/image_io.cpp",
+    "src/synth/clip_io.cpp",
+    "src/replay/trace_format.cpp",
+}
+
+# Tokens that count as a length guard inside a deserializer function body.
+GUARD_TOKENS = ("kMax", "need(", "fail(", "check_", "throw")
+
+BANNED_ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()"  # new expressions (placement-new is still new storage upstream)
+    r"|\bnew\s*\("
+    r"|\b(?:std\s*::\s*)?(?:malloc|calloc|realloc|aligned_alloc|strdup)\s*\("
+    r"|\b(?:std\s*::\s*)?make_(?:unique|shared)\b"
+    r"|\bstd\s*::\s*to_string\s*\("
+)
+
+GROWTH_CALL_RE = re.compile(
+    r"(?P<chain>[A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*(?:\.|->)\s*"
+    r"(?P<method>push_back|emplace_back|resize|resize_discard|assign|reserve|insert|append)"
+    r"\s*\("
+)
+
+# By-value local of an owning container type: `std::vector<T> v;` etc.
+CONTAINER_LOCAL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:std\s*::\s*)?"
+    r"(?:vector|string|wstring|deque|list|map|set|multimap|multiset"
+    r"|unordered_map|unordered_set|basic_string|valarray)\s*"
+    r"(?:<[^;{}]*>)?\s+(?P<name>[A-Za-z_]\w*)\s*(?:[;={(]|$)",
+    re.MULTILINE,
+)
+
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+SIZING_CALL_RE = re.compile(r"\.\s*(resize|reserve|assign)\s*\(")
+
+REF_PARAM_RE = re.compile(r"&\s*(?:__restrict__\s+)?([A-Za-z_]\w*)\s*(?:,|\)|=|$)")
+REF_ALIAS_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:const\s+)?(?:auto|[A-Za-z_][\w:]*(?:\s*<[^;{}=]*>)?)\s*&\s*"
+    r"([A-Za-z_]\w*)\s*="
+)
+
+SUPPRESS_RE = re.compile(r"slj-lint:\s*allow\(\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)\s*\)")
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string literals, and char literals.
+
+    Length and newline positions are preserved so offsets map 1:1 back to
+    the original text.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressions(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of rules allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        # A suppression covers its own line and the next one, so it can sit
+        # on the line above a long statement.
+        allowed.setdefault(idx, set()).update(rules)
+        allowed.setdefault(idx + 1, set()).update(rules)
+    return allowed
+
+
+def match_paren(text: str, open_pos: int, open_ch: str = "(", close_ch: str = ")") -> int:
+    """Offset just past the matching close bracket, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def find_function_bodies(stripped: str) -> list[tuple[int, int, int]]:
+    """Top-level function bodies as (header_start, body_start, body_end).
+
+    Namespace / struct / class / enum / extern blocks are transparent, so
+    member functions inside them are still found. body_start/body_end are
+    the offsets of the opening and closing braces. Nested lambdas are part
+    of their enclosing body, not separate entries.
+    """
+    bodies = []
+    transparent_kw = re.compile(r"\b(namespace|struct|class|union|enum|extern)\b")
+    i, n = 0, len(stripped)
+    stack = []  # per open brace: True if a function body we recorded
+    while i < n:
+        c = stripped[i]
+        if c == "{":
+            inside_fn = any(stack)
+            if inside_fn:
+                stack.append(False)
+                i += 1
+                continue
+            # Header: backtrack to the previous ';', '{', or '}'.
+            h = i - 1
+            while h >= 0 and stripped[h] not in ";{}":
+                h -= 1
+            header = stripped[h + 1 : i]
+            is_fn = "(" in header and not transparent_kw.search(header)
+            # An initializer list (`= {` / `return {`) is not a body.
+            if re.search(r"[=,]\s*$|\breturn\s*$", header):
+                is_fn = False
+            if is_fn:
+                end = match_paren(stripped, i, "{", "}")
+                if end < 0:
+                    break
+                bodies.append((h + 1, i, end - 1))
+            stack.append(is_fn)
+        elif c == "}":
+            if stack:
+                stack.pop()
+        i += 1
+    return bodies
+
+
+def strip_throw_statements(body: str) -> str:
+    """Blank every `throw ...;` statement (cold error paths are exempt)."""
+    out = list(body)
+    for m in re.finditer(r"\bthrow\b", body):
+        i = m.start()
+        depth = 0
+        while i < len(body):
+            ch = body[i]
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth -= 1
+            elif ch == ";" and depth <= 0:
+                break
+            if ch != "\n":
+                out[i] = " "
+            i += 1
+    return "".join(out)
+
+
+def chain_root(chain: str) -> str:
+    return re.split(r"\s*(?:\.|->)\s*", chain.strip())[0]
+
+
+def check_hot_path_lexical(path: Path, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for m in re.finditer(rf"\b{HOT_PATH_MARKER}\b", stripped):
+        sig_start = m.end()
+        open_paren = stripped.find("(", sig_start)
+        if open_paren < 0:
+            continue
+        after_params = match_paren(stripped, open_paren)
+        if after_params < 0:
+            continue
+        # Skip trailing qualifiers (const, noexcept, override...) to the
+        # body or the declaration's terminating ';'.
+        j = after_params
+        while j < len(stripped) and stripped[j] not in "{;":
+            j += 1
+        if j >= len(stripped) or stripped[j] == ";":
+            continue  # declaration only; the definition is checked in its TU
+        body_end = match_paren(stripped, j, "{", "}")
+        if body_end < 0:
+            continue
+        params = stripped[open_paren + 1 : after_params - 1]
+        roots = {name for name in REF_PARAM_RE.findall(params)}
+        roots.add("this")
+        body = stripped[j:body_end]
+        body_line0 = line_of(stripped, j)
+        roots.update(REF_ALIAS_RE.findall(body))
+        scannable = strip_throw_statements(body)
+
+        for bm in BANNED_ALLOC_RE.finditer(scannable):
+            ln = body_line0 + scannable.count("\n", 0, bm.start())
+            tok = bm.group(0).strip().rstrip("(").strip()
+            findings.append(
+                Finding(path, ln, "hot-path-alloc", f"allocation `{tok}` in {HOT_PATH_MARKER} function")
+            )
+        for gm in GROWTH_CALL_RE.finditer(scannable):
+            root = chain_root(gm.group("chain"))
+            if root in roots:
+                continue
+            ln = body_line0 + scannable.count("\n", 0, gm.start())
+            findings.append(
+                Finding(
+                    path, ln, "hot-path-alloc",
+                    f"growth call `{gm.group('chain')}.{gm.group('method')}()` on "
+                    f"`{root}`, which is not a reference parameter or local reference "
+                    f"alias of this {HOT_PATH_MARKER} function",
+                )
+            )
+        for cm in CONTAINER_LOCAL_RE.finditer(scannable):
+            ln = body_line0 + scannable.count("\n", 0, cm.start("name"))
+            findings.append(
+                Finding(
+                    path, ln, "hot-path-alloc",
+                    f"by-value owning container local `{cm.group('name')}` in "
+                    f"{HOT_PATH_MARKER} function (recycle a workspace buffer instead)",
+                )
+            )
+    return findings
+
+
+def check_unchecked_read(path: Path, rel: str, raw: str, stripped: str) -> list[Finding]:
+    if rel not in DESERIALIZER_FILES:
+        return []
+    findings: list[Finding] = []
+    for _, body_start, body_end in find_function_bodies(stripped):
+        body = stripped[body_start:body_end]
+        sized_from_variable = []
+        for sm in SIZING_CALL_RE.finditer(body):
+            arg_open = body.find("(", sm.end() - 1)
+            arg_close = match_paren(body, arg_open)
+            if arg_close < 0:
+                continue
+            arg = body[arg_open + 1 : arg_close - 1]
+            if re.search(r"[A-Za-z_]", arg):
+                sized_from_variable.append((sm, arg.strip()))
+        if not sized_from_variable:
+            continue
+        if any(tok in body for tok in GUARD_TOKENS):
+            continue
+        for sm, arg in sized_from_variable:
+            ln = line_of(stripped, body_start + sm.start())
+            findings.append(
+                Finding(
+                    path, ln, "unchecked-read",
+                    f"container sized from `{arg}` with no length guard "
+                    f"(kMax* cap, need()/fail()/check_*, or throw) in the same function",
+                )
+            )
+    return findings
+
+
+def check_naked_mutex(path: Path, rel: str, raw: str, stripped: str) -> list[Finding]:
+    if rel == "src/core/annotations.hpp":
+        return []
+    findings = []
+    for m in NAKED_MUTEX_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        findings.append(
+            Finding(
+                path, ln, "naked-mutex",
+                f"naked std::{m.group(1)}; use slj::Mutex / slj::LockGuard / "
+                f"slj::CondVar from core/annotations.hpp so thread-safety "
+                f"analysis sees the acquisition",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Experimental AST engine (clang required): structural hot-path-alloc.
+# ---------------------------------------------------------------------------
+
+def _ast_hot_functions(node, out):
+    """Collect (name, node) for function decls annotated slj_hot_path."""
+    if isinstance(node, dict):
+        if node.get("kind") in ("FunctionDecl", "CXXMethodDecl"):
+            for child in node.get("inner", []) or []:
+                if (
+                    child.get("kind") == "AnnotateAttr"
+                    and "slj_hot_path" in json.dumps(child.get("inner", ""))
+                ):
+                    out.append(node)
+                    break
+        for child in node.get("inner", []) or []:
+            _ast_hot_functions(child, out)
+
+
+def _ast_alloc_sites(node, out):
+    if isinstance(node, dict):
+        kind = node.get("kind")
+        if kind == "CXXNewExpr":
+            out.append((node, "new expression"))
+        elif kind in ("CallExpr", "CXXConstructExpr"):
+            blob = json.dumps(node.get("type", {})) + json.dumps(
+                [c.get("referencedDecl", {}).get("name", "") for c in node.get("inner", []) or [] if isinstance(c, dict)]
+            )
+            for fn in ("malloc", "calloc", "realloc", "aligned_alloc", "make_unique", "make_shared"):
+                if f'"{fn}"' in blob:
+                    out.append((node, f"call to {fn}"))
+                    break
+        for child in node.get("inner", []) or []:
+            _ast_alloc_sites(child, out)
+
+
+def check_hot_path_ast(root: Path, compdb_path: Path) -> list[Finding]:
+    clang = shutil.which("clang++") or shutil.which("clang")
+    if clang is None:
+        print("slj_lint: --engine ast requires clang++ on PATH", file=sys.stderr)
+        sys.exit(2)
+    try:
+        compdb = json.loads(compdb_path.read_text())
+    except OSError as e:
+        print(f"slj_lint: cannot read compile database: {e}", file=sys.stderr)
+        sys.exit(2)
+    findings: list[Finding] = []
+    for entry in compdb:
+        src = Path(entry["directory"]) / entry["file"] if not os.path.isabs(entry["file"]) else Path(entry["file"])
+        try:
+            text = src.read_text(errors="replace")
+        except OSError:
+            continue
+        if HOT_PATH_MARKER not in text:
+            continue
+        args = entry.get("arguments") or entry.get("command", "").split()
+        # Keep -I/-D/-std from the recorded compile, swap the compiler, and
+        # ask for a JSON AST instead of object code.
+        keep = [a for a in args[1:] if a.startswith(("-I", "-D", "-std", "-isystem"))]
+        cmd = [clang, "-fsyntax-only", "-Xclang", "-ast-dump=json", *keep, str(src)]
+        try:
+            proc = subprocess.run(
+                cmd, cwd=entry["directory"], capture_output=True, text=True, timeout=300
+            )
+            ast = json.loads(proc.stdout)
+        except (subprocess.SubprocessError, json.JSONDecodeError):
+            print(f"slj_lint: AST dump failed for {src}; falling back to lexical", file=sys.stderr)
+            continue
+        hot: list = []
+        _ast_hot_functions(ast, hot)
+        for fn in hot:
+            sites: list = []
+            _ast_alloc_sites(fn, sites)
+            for site, what in sites:
+                loc = site.get("range", {}).get("begin", {})
+                ln = loc.get("line") or loc.get("expansionLoc", {}).get("line", 0)
+                findings.append(
+                    Finding(src, int(ln or 0), "hot-path-alloc",
+                            f"{what} in {HOT_PATH_MARKER} function {fn.get('name', '?')}")
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+
+
+def lint_file(path: Path, root: Path, rules: set[str], engine: str) -> list[Finding]:
+    try:
+        raw = path.read_text(errors="replace")
+    except OSError as e:
+        print(f"slj_lint: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        rel = str(path.resolve().relative_to(root.resolve())).replace(os.sep, "/")
+    except ValueError:
+        rel = str(path)
+    stripped = strip_comments_and_strings(raw)
+    raw_lines = raw.split("\n")
+    allowed = suppressions(raw_lines)
+    findings: list[Finding] = []
+    if "hot-path-alloc" in rules and engine == "lexical" and HOT_PATH_MARKER in stripped:
+        findings += check_hot_path_lexical(path, raw, stripped)
+    if "unchecked-read" in rules:
+        findings += check_unchecked_read(path, rel, raw, stripped)
+    if "naked-mutex" in rules:
+        findings += check_naked_mutex(path, rel, raw, stripped)
+    return [
+        f for f in findings
+        if f.rule not in allowed.get(f.line, ()) and "all" not in allowed.get(f.line, ())
+    ]
+
+
+def default_targets(root: Path) -> list[Path]:
+    src = root / "src"
+    if not src.is_dir():
+        print(f"slj_lint: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    return sorted(p for p in src.rglob("*") if p.suffix in (".hpp", ".cpp", ".h", ".cc"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*", type=Path, help="files to lint (default: src/ under --root)")
+    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[2],
+                    help="repository root (default: two levels above this script)")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help=f"comma-separated rules to run (default: all of {', '.join(RULES)})")
+    ap.add_argument("--engine", choices=("lexical", "ast"), default="lexical",
+                    help="hot-path-alloc engine; ast needs clang++ and a compile database")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json for --engine ast (default: <root>/build/compile_commands.json)")
+    ap.add_argument("-q", "--quiet", action="store_true", help="suppress the summary line")
+    args = ap.parse_args()
+
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - set(RULES)
+    if unknown:
+        print(f"slj_lint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    targets = [p for p in args.files] or default_targets(args.root)
+    findings: list[Finding] = []
+    for path in targets:
+        findings += lint_file(path, args.root, rules, args.engine)
+    if args.engine == "ast" and "hot-path-alloc" in rules:
+        compdb = args.compdb or (args.root / "build" / "compile_commands.json")
+        findings += check_hot_path_ast(args.root, compdb)
+
+    findings.sort(key=lambda f: (str(f.path), f.line))
+    for f in findings:
+        print(f.render(args.root))
+    if not args.quiet:
+        scanned = len(targets)
+        print(f"slj_lint: {len(findings)} finding(s) across {scanned} file(s) "
+              f"[rules: {', '.join(sorted(rules))}; engine: {args.engine}]",
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+// Compile-time concurrency & hot-path invariant vocabulary.
+//
+// Three families of markers live here, all zero-cost at runtime:
+//
+//  1. Clang thread-safety annotations (SLJ_GUARDED_BY, SLJ_REQUIRES, ...)
+//     plus the annotated lock types slj::Mutex / slj::LockGuard /
+//     slj::CondVar. Under Clang with -Wthread-safety (scripts/ci.sh
+//     --analyze turns the warnings into errors) the compiler proves lock
+//     discipline: a guarded field touched without its mutex held, or a
+//     _locked helper called without its SLJ_REQUIRES capability, fails the
+//     build. On GCC and MSVC every macro expands to nothing and the
+//     wrappers degrade to a plain std::mutex + std::unique_lock, so the
+//     annotations cost nothing where they cannot be checked.
+//
+//  2. SLJ_HOT_PATH: marks a function as part of the allocation-free
+//     per-frame path (the *_into kernels, FramePipeline::process_into,
+//     StreamManager::tick_into). scripts/lint/slj_lint.py statically
+//     rejects fresh heap allocation inside marked functions — `new`,
+//     malloc-family calls, by-value owning containers, and container
+//     growth on anything that is not a caller-supplied (recycled) buffer.
+//     Under Clang the marker also emits an `annotate` attribute so
+//     AST-level tooling can find the marked functions.
+//
+//  3. The lock wrappers double as a lint anchor: slj_lint.py bans naked
+//     std::mutex / std::lock_guard / std::unique_lock / std::scoped_lock /
+//     std::condition_variable everywhere in src/ except this header, so
+//     every new mutex in the codebase arrives annotated by construction.
+//
+// How to annotate a new mutex (see README "Static analysis"):
+//
+//   class Thing {
+//     void touch() SLJ_EXCLUDES(mutex_);            // public: takes the lock
+//    private:
+//     void touch_locked() SLJ_REQUIRES(mutex_);     // helper: caller holds it
+//     slj::Mutex mutex_;
+//     int state_ SLJ_GUARDED_BY(mutex_) = 0;        // only under mutex_
+//   };
+//
+// Condition-variable waits: evaluate the predicate in the annotated scope
+// (an explicit `while (!cond) cv.wait(lock);` loop) instead of passing a
+// predicate lambda — Clang analyzes lambdas as separate functions that do
+// not hold the capability, so a predicate lambda reading guarded fields
+// would be (correctly, but uselessly) flagged.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- attribute plumbing ----------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SLJ_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SLJ_THREAD_ANNOTATION
+#define SLJ_THREAD_ANNOTATION(x)  // no-op off Clang: GCC/MSVC see plain code
+#endif
+
+// ---- thread-safety annotations ---------------------------------------------
+// Names follow the Clang thread-safety capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed so the
+// no-op fallback can never collide with other libraries' macros.
+
+/// Declares a class to be a lockable capability (see slj::Mutex).
+#define SLJ_CAPABILITY(x) SLJ_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires on construction, releases on
+/// destruction (see slj::LockGuard).
+#define SLJ_SCOPED_CAPABILITY SLJ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SLJ_GUARDED_BY(x) SLJ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be touched while holding `x`.
+#define SLJ_PT_GUARDED_BY(x) SLJ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and does not release it.
+#define SLJ_ACQUIRE(...) SLJ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define SLJ_RELEASE(...) SLJ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define SLJ_TRY_ACQUIRE(b, ...) SLJ_THREAD_ANNOTATION(try_acquire_capability(b, ##__VA_ARGS__))
+
+/// Caller must already hold the capability (the _locked helper contract).
+#define SLJ_REQUIRES(...) SLJ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock-by-relock guard).
+#define SLJ_EXCLUDES(...) SLJ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot follow. Use sparingly and say
+/// why at the use site.
+#define SLJ_NO_THREAD_SAFETY_ANALYSIS SLJ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---- hot-path marker -------------------------------------------------------
+
+/// Marks a function as part of the allocation-free per-frame path.
+/// slj_lint.py forbids fresh heap allocation in marked functions: only
+/// capacity-recycling growth on caller-supplied buffers (workspace / out
+/// parameters taken by reference) is permitted, because their capacity
+/// survives across frames. Cold error paths (`throw` statements) are
+/// exempt — an aborted frame may allocate its exception message.
+#if defined(__clang__)
+#define SLJ_HOT_PATH __attribute__((annotate("slj_hot_path")))
+#else
+#define SLJ_HOT_PATH
+#endif
+
+namespace slj {
+
+// ---- annotated lock types --------------------------------------------------
+
+/// std::mutex with the capability attribute: fields declared
+/// SLJ_GUARDED_BY(mutex_) can only be touched while it is held. This is the
+/// only mutex type allowed in src/ (lint rule naked-mutex).
+class SLJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SLJ_ACQUIRE() { mu_.lock(); }
+  void unlock() SLJ_RELEASE() { mu_.unlock(); }
+  bool try_lock() SLJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class LockGuard;
+  std::mutex mu_;
+};
+
+/// Scoped lock over slj::Mutex (the std::unique_lock of this vocabulary).
+/// Handed to slj::CondVar for waits; the analysis treats the capability as
+/// held across a wait, which matches how guarded state must be re-checked
+/// in the enclosing loop anyway.
+class SLJ_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) SLJ_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~LockGuard() SLJ_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable bound to slj::LockGuard. Deliberately predicate-free:
+/// spell the predicate as a `while` loop in the annotated caller so guarded
+/// reads happen where the capability is provably held (see file comment).
+class CondVar {
+ public:
+  void wait(LockGuard& lock) { cv_.wait(lock.lk_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(LockGuard& lock, const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lk_, d);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(LockGuard& lock,
+                            const std::chrono::time_point<Clock, Duration>& t) {
+    return cv_.wait_until(lock.lk_, t);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace slj

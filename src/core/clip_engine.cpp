@@ -22,7 +22,7 @@ WorkerPool::WorkerPool(unsigned workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    slj::LockGuard lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -37,7 +37,7 @@ void WorkerPool::run_tasks(const std::function<void(std::size_t, std::size_t)>& 
     try {
       fn(lane, i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      slj::LockGuard lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
   }
@@ -49,8 +49,8 @@ void WorkerPool::worker_loop(std::size_t lane) {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      slj::LockGuard lock(mutex_);
+      while (!stop_ && generation_ == seen) wake_.wait(lock);
       if (stop_) return;
       seen = generation_;
       fn = fn_;
@@ -58,7 +58,7 @@ void WorkerPool::worker_loop(std::size_t lane) {
     }
     run_tasks(*fn, count, lane);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      slj::LockGuard lock(mutex_);
       if (--active_ == 0) done_.notify_one();
     }
   }
@@ -76,7 +76,7 @@ void WorkerPool::parallel_for_lanes(std::size_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    slj::LockGuard lock(mutex_);
     fn_ = &fn;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
@@ -88,8 +88,8 @@ void WorkerPool::parallel_for_lanes(std::size_t count,
   run_tasks(fn, count, /*lane=*/0);
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return active_ == 0; });
+    slj::LockGuard lock(mutex_);
+    while (active_ != 0) done_.wait(lock);
     fn_ = nullptr;
     error = std::exchange(error_, nullptr);
   }

@@ -8,14 +8,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/pipeline.hpp"
 #include "detection/blob_tracker.hpp"
 #include "synth/dataset.hpp"
@@ -40,31 +39,38 @@ class WorkerPool {
   /// Runs fn(i) for every i in [0, count); blocks until all complete.
   /// If a task throws, the first exception is rethrown here after the
   /// whole index space has drained.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn)
+      SLJ_EXCLUDES(mutex_);
 
   /// Lane-aware variant: fn(lane, i), where `lane` identifies the executing
   /// thread (0 = the calling thread, 1..size() = pool workers). Lanes let
   /// tasks address per-thread state — e.g. one FrameWorkspace per lane —
   /// without locking: a lane never runs two tasks concurrently.
   void parallel_for_lanes(std::size_t count,
-                          const std::function<void(std::size_t, std::size_t)>& fn);
+                          const std::function<void(std::size_t, std::size_t)>& fn)
+      SLJ_EXCLUDES(mutex_);
 
  private:
-  void worker_loop(std::size_t lane);
+  void worker_loop(std::size_t lane) SLJ_EXCLUDES(mutex_);
   void run_tasks(const std::function<void(std::size_t, std::size_t)>& fn, std::size_t count,
-                 std::size_t lane);
+                 std::size_t lane) SLJ_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
+  slj::Mutex mutex_;
+  slj::CondVar wake_;
+  slj::CondVar done_;
+  /// The pointer cell is guarded; the pointee is the caller's function
+  /// object, read outside the lock by design — parallel_for_lanes keeps it
+  /// alive until every worker has drained the batch.
+  const std::function<void(std::size_t, std::size_t)>* fn_ SLJ_GUARDED_BY(mutex_) = nullptr;
+  std::size_t count_ SLJ_GUARDED_BY(mutex_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;        ///< workers still inside the current batch
-  std::uint64_t generation_ = 0;  ///< batch counter workers wake on
-  bool stop_ = false;
-  std::exception_ptr error_;
+  /// Workers still inside the current batch.
+  std::size_t active_ SLJ_GUARDED_BY(mutex_) = 0;
+  /// Batch counter workers wake on.
+  std::uint64_t generation_ SLJ_GUARDED_BY(mutex_) = 0;
+  bool stop_ SLJ_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ SLJ_GUARDED_BY(mutex_);
 };
 
 struct ClipEngineConfig {

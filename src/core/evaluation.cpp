@@ -63,7 +63,8 @@ std::size_t DatasetEvaluation::total_correct() const {
 
 double DatasetEvaluation::overall_accuracy() const {
   const std::size_t frames = total_frames();
-  return frames == 0 ? 0.0 : static_cast<double>(total_correct()) / frames;
+  return frames == 0 ? 0.0
+                     : static_cast<double>(total_correct()) / static_cast<double>(frames);
 }
 
 double DatasetEvaluation::min_clip_accuracy() const {

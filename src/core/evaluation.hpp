@@ -21,9 +21,12 @@ struct ClipEvaluation {
   std::vector<pose::FrameResult> results;
   std::vector<pose::PoseId> truth;
 
-  double accuracy() const { return frames == 0 ? 0.0 : static_cast<double>(correct) / frames; }
+  double accuracy() const {
+    return frames == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(frames);
+  }
   double stage_accuracy() const {
-    return frames == 0 ? 0.0 : static_cast<double>(correct_stage) / frames;
+    return frames == 0 ? 0.0
+                       : static_cast<double>(correct_stage) / static_cast<double>(frames);
   }
 };
 

@@ -192,8 +192,11 @@ std::string JumpReport::to_string() const {
     out += rule_name(f.rule);
     if (f.passed) {
       out += " (frames";
-      const int shown = std::min<std::size_t>(f.evidence_frames.size(), 4);
-      for (int i = 0; i < shown; ++i) out += " " + std::to_string(f.evidence_frames[static_cast<std::size_t>(i)]);
+      const std::size_t shown = std::min<std::size_t>(f.evidence_frames.size(), 4);
+      for (std::size_t i = 0; i < shown; ++i) {
+        out += ' ';
+        out += std::to_string(f.evidence_frames[i]);
+      }
       if (f.evidence_frames.size() > 4) out += " ...";
       out += ")";
     } else {

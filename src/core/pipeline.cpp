@@ -43,7 +43,7 @@ FrameObservation FramePipeline::process(const RgbImage& frame, detect::BlobTrack
   return obs;
 }
 
-void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
+SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
                                  FrameObservation& out) const {
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
@@ -52,7 +52,7 @@ void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
   finish_observation(ws, out);
 }
 
-void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
+SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
                                  FrameWorkspace& ws, FrameObservation& out) const {
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "detection/blob_tracker.hpp"
 #include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
@@ -122,8 +123,8 @@ class FramePipeline {
 
   /// Same, writing into an existing observation so its buffers are reused
   /// frame over frame (the StreamEngine steady state).
-  void process_into(const RgbImage& frame, FrameWorkspace& ws, FrameObservation& out) const;
-  void process_into(const RgbImage& frame, detect::BlobTracker& tracker, FrameWorkspace& ws,
+  SLJ_HOT_PATH void process_into(const RgbImage& frame, FrameWorkspace& ws, FrameObservation& out) const;
+  SLJ_HOT_PATH void process_into(const RgbImage& frame, detect::BlobTracker& tracker, FrameWorkspace& ws,
                     FrameObservation& out) const;
 
   /// Pipeline from an already-extracted silhouette (used by tests and by

@@ -86,7 +86,7 @@ std::vector<StreamUpdate> StreamManager::tick(const std::vector<Feed>& feeds) {
   return updates;
 }
 
-void StreamManager::tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates) {
+SLJ_HOT_PATH void StreamManager::tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates) {
   // Validate the whole batch before touching any session, so a rejected
   // batch advances nothing (see the class contract). The stamp array makes
   // duplicate detection allocation-free: a session already stamped with the

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/clip_engine.hpp"
 #include "core/faults.hpp"
 #include "core/pipeline.hpp"
@@ -148,7 +149,7 @@ class StreamManager {
   /// milliseconds — the ingest scheduler — reuses the buffer instead of
   /// allocating a results vector per round. Duplicate detection runs on a
   /// per-session stamp, so validation itself is allocation-free.
-  void tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates);
+  SLJ_HOT_PATH void tick_into(const std::vector<Feed>& feeds, std::vector<StreamUpdate>& updates);
 
   /// Finishes and closes a session, returning its final report.
   JumpReport close_session(int session);

@@ -12,7 +12,7 @@ Labeling label_components(const BinaryImage& img, bool eight_connected) {
   return out;
 }
 
-void label_components_into(const BinaryImage& img, bool eight_connected, Labeling& out,
+SLJ_HOT_PATH void label_components_into(const BinaryImage& img, bool eight_connected, Labeling& out,
                            std::vector<PointI>& stack) {
   const int w = img.width();
   const int h = img.height();
@@ -67,7 +67,7 @@ BinaryImage largest_component(const BinaryImage& img, bool eight_connected) {
   return out;
 }
 
-void largest_component_into(const BinaryImage& img, bool eight_connected, Labeling& labeling,
+SLJ_HOT_PATH void largest_component_into(const BinaryImage& img, bool eight_connected, Labeling& labeling,
                             std::vector<PointI>& stack, BinaryImage& out) {
   label_components_into(img, eight_connected, labeling, stack);
   out.assign(img.width(), img.height(), 0);

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "imaging/image.hpp"
 
 namespace slj {
@@ -28,7 +29,7 @@ Labeling label_components(const BinaryImage& img, bool eight_connected = true);
 
 /// Allocation-free variant: labels and per-component stats are written into
 /// `out` and the DFS runs on `stack`, both reusing their storage.
-void label_components_into(const BinaryImage& img, bool eight_connected, Labeling& out,
+SLJ_HOT_PATH void label_components_into(const BinaryImage& img, bool eight_connected, Labeling& out,
                            std::vector<PointI>& stack);
 
 /// Mask of the largest foreground component; empty-input → all-zero mask.
@@ -36,7 +37,7 @@ BinaryImage largest_component(const BinaryImage& img, bool eight_connected = tru
 
 /// Allocation-free variant of largest_component; `labeling` and `stack` are
 /// scratch, the mask lands in `out`. `out` must not alias `img`.
-void largest_component_into(const BinaryImage& img, bool eight_connected, Labeling& labeling,
+SLJ_HOT_PATH void largest_component_into(const BinaryImage& img, bool eight_connected, Labeling& labeling,
                             std::vector<PointI>& stack, BinaryImage& out);
 
 /// Counts connected foreground components.

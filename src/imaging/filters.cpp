@@ -61,7 +61,7 @@ BinaryImage median_filter_binary(const BinaryImage& img, int k) {
   return out;
 }
 
-void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
+SLJ_HOT_PATH void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
                                BinaryImage& out) {
   require_odd(k);
   const int w = img.width();

@@ -3,6 +3,7 @@
 // segmentation pipeline uses.
 #pragma once
 
+#include "core/annotations.hpp"
 #include "imaging/image.hpp"
 #include "imaging/integral.hpp"
 
@@ -21,7 +22,7 @@ BinaryImage median_filter_binary(const BinaryImage& img, int k);
 /// `integral` and the result written to `out`, both reusing their storage.
 /// Output is bit-identical to median_filter_binary. `out` must not alias
 /// `img`.
-void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
+SLJ_HOT_PATH void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
                                BinaryImage& out);
 
 /// Box blur (mean filter) over a k×k window, rounding to nearest.

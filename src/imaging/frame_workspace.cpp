@@ -35,7 +35,7 @@ void build_rgb_integrals(const RgbImage& img, FrameWorkspace& ws) {
   }
 }
 
-void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws) {
+SLJ_HOT_PATH void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws) {
   if (n < 1 || n % 2 == 0) {
     throw std::invalid_argument("moving-window size must be odd and >= 1");
   }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "imaging/connected.hpp"
 #include "imaging/image.hpp"
 #include "imaging/integral.hpp"
@@ -60,7 +61,7 @@ struct FrameWorkspace {
 /// Allocation-free variant of window_mean_rgb: builds the per-channel
 /// summed-area tables in ws.integral_{r,g,b} and the mean planes in ws.aave,
 /// reusing their storage. Values are bit-identical to window_mean_rgb.
-void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws);
+SLJ_HOT_PATH void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws);
 
 /// Builds the three per-channel summed-area tables of `img` into
 /// ws.integral_{r,g,b} in one fused pass over the frame (one read per pixel

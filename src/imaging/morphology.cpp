@@ -62,7 +62,7 @@ BinaryImage fill_holes(const BinaryImage& img) {
   return out;
 }
 
-void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
+SLJ_HOT_PATH void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
                      std::vector<std::uint32_t>& stack, BinaryImage& out) {
   const int w = img.width();
   const int h = img.height();

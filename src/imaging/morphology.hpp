@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "imaging/image.hpp"
 
 namespace slj {
@@ -31,7 +32,7 @@ BinaryImage fill_holes(const BinaryImage& img);
 /// Considerably faster than fill_holes: the flood walks a sentinel-padded
 /// closed map with raw indices, so the inner loop has no bounds checks.
 /// `out` must not alias `img`.
-void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
+SLJ_HOT_PATH void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
                      std::vector<std::uint32_t>& stack, BinaryImage& out);
 
 }  // namespace slj

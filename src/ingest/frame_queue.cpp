@@ -71,7 +71,7 @@ FrameQueue::FrameQueue(FrameQueueConfig config)
 
 PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now,
                              std::uint64_t* sequence) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   if (closed_) return PushOutcome::kClosed;
   // The limiter gates *offered* frames: a token is consumed even when the
   // ring then sheds the frame, so a hot camera pays for every attempt.
@@ -88,7 +88,9 @@ PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now,
         outcome = PushOutcome::kReplacedOldest;
         break;
       case BackpressurePolicy::kBlock:
-        not_full_.wait(lock, [&] { return size_ < slots_.size() || closed_; });
+        // Explicit loop, not a predicate lambda: the guarded fields are
+        // re-read here, where the analysis can see mutex_ is held.
+        while (size_ == slots_.size() && !closed_) not_full_.wait(lock);
         if (closed_) return PushOutcome::kClosed;
         break;
     }
@@ -105,7 +107,7 @@ PushOutcome FrameQueue::push(const RgbImage& frame, Clock::time_point now,
 
 bool FrameQueue::pop_into(PendingFrame& out) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    slj::LockGuard lock(mutex_);
     if (size_ == 0) return false;
     PendingFrame& slot = slots_[head_];
     std::swap(out.frame, slot.frame);  // recycle buffers both ways
@@ -123,25 +125,25 @@ bool FrameQueue::pop_into(PendingFrame& out) {
 }
 
 std::size_t FrameQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   return size_;
 }
 
 std::uint64_t FrameQueue::admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   return next_sequence_;
 }
 
 void FrameQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    slj::LockGuard lock(mutex_);
     closed_ = true;
   }
   not_full_.notify_all();
 }
 
 bool FrameQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   return closed_;
 }
 

@@ -24,11 +24,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "imaging/image.hpp"
 
 namespace slj::ingest {
@@ -126,36 +125,38 @@ class FrameQueue {
   /// frame is admitted and `sequence` is non-null, it receives the frame's
   /// queue-assigned admission index (the trace recorder keys frames by it).
   PushOutcome push(const RgbImage& frame, Clock::time_point now,
-                   std::uint64_t* sequence = nullptr);
+                   std::uint64_t* sequence = nullptr) SLJ_EXCLUDES(mutex_);
 
   /// Pops the oldest queued frame into `out` (swapping image storage both
   /// ways, so a reused `out` makes the steady state allocation-free).
   /// Returns false when the queue is empty. Single consumer.
-  bool pop_into(PendingFrame& out);
+  bool pop_into(PendingFrame& out) SLJ_EXCLUDES(mutex_);
 
   /// Frames currently queued.
-  std::size_t depth() const;
+  std::size_t depth() const SLJ_EXCLUDES(mutex_);
 
   /// Total frames admitted so far (== the next frame's `sequence`).
-  std::uint64_t admitted() const;
+  std::uint64_t admitted() const SLJ_EXCLUDES(mutex_);
 
   /// Closes the queue: every further push returns kClosed and producers
   /// blocked in push are woken. Queued frames can still be popped.
-  void close();
-  bool closed() const;
+  void close() SLJ_EXCLUDES(mutex_);
+  bool closed() const SLJ_EXCLUDES(mutex_);
 
   const FrameQueueConfig& config() const { return config_; }
 
  private:
   FrameQueueConfig config_;
-  RateLimiter limiter_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::vector<PendingFrame> slots_;  ///< ring storage, buffers recycled
-  std::size_t head_ = 0;             ///< index of the oldest queued frame
-  std::size_t size_ = 0;
-  std::uint64_t next_sequence_ = 0;
-  bool closed_ = false;
+  mutable slj::Mutex mutex_;
+  slj::CondVar not_full_;
+  /// The limiter is not internally synchronized; push() drives it under
+  /// mutex_ so token accounting is serialized with ring admission.
+  RateLimiter limiter_ SLJ_GUARDED_BY(mutex_);
+  std::vector<PendingFrame> slots_ SLJ_GUARDED_BY(mutex_);  ///< ring storage, buffers recycled
+  std::size_t head_ SLJ_GUARDED_BY(mutex_) = 0;  ///< index of the oldest queued frame
+  std::size_t size_ SLJ_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_sequence_ SLJ_GUARDED_BY(mutex_) = 0;
+  bool closed_ SLJ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace slj::ingest

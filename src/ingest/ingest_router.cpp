@@ -15,7 +15,7 @@ IngestRouter::IngestRouter(core::StreamManager& manager, Config config)
 int IngestRouter::open(const RgbImage& background) { return open(background, config_.session); }
 
 int IngestRouter::open(const RgbImage& background, IngestSessionConfig config) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   const int id = manager_->open_session(background, config.session);
   if (static_cast<std::size_t>(id) >= sessions_.size()) {
     sessions_.resize(static_cast<std::size_t>(id) + 1);
@@ -34,7 +34,7 @@ std::shared_ptr<IngestRouter::SessionState> IngestRouter::state_at(int session) 
 }
 
 std::shared_ptr<IngestRouter::SessionState> IngestRouter::state_if_open(int session) const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   if (session < 0 || static_cast<std::size_t>(session) >= sessions_.size()) {
     throw std::invalid_argument("unknown ingest session id " + std::to_string(session));
   }
@@ -82,7 +82,7 @@ std::size_t IngestRouter::drain(DrainBatch& batch) {
   // producers are never blocked behind a whole drain round.
   drain_scratch_.clear();
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    slj::LockGuard lock(sessions_mutex_);
     for (const std::shared_ptr<SessionState>& s : sessions_) {
       if (s) drain_scratch_.push_back(s);
     }
@@ -107,7 +107,7 @@ std::size_t IngestRouter::drain(DrainBatch& batch) {
 
 void IngestRouter::collect_idle(std::vector<int>& out) {
   const Clock::time_point now = clock_();
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   for (const std::shared_ptr<SessionState>& s : sessions_) {
     if (!s || s->config.idle_timeout <= Clock::duration::zero()) continue;
     if (s->queue.closed()) continue;      // sealed: an explicit close is in flight
@@ -123,7 +123,7 @@ void IngestRouter::seal(int session) { state_at(session)->queue.close(); }
 core::JumpReport IngestRouter::close(int session, std::uint64_t* discarded) {
   std::shared_ptr<SessionState> state;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    slj::LockGuard lock(sessions_mutex_);
     if (session < 0 || static_cast<std::size_t>(session) >= sessions_.size() ||
         !sessions_[static_cast<std::size_t>(session)]) {
       throw std::invalid_argument("unknown ingest session id " + std::to_string(session));
@@ -144,7 +144,7 @@ core::JumpReport IngestRouter::close(int session, std::uint64_t* discarded) {
 }
 
 std::size_t IngestRouter::open_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   std::size_t n = 0;
   for (const std::shared_ptr<SessionState>& s : sessions_) {
     if (s) ++n;
@@ -153,7 +153,7 @@ std::size_t IngestRouter::open_sessions() const {
 }
 
 std::size_t IngestRouter::total_depth() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   std::size_t depth = 0;
   for (const std::shared_ptr<SessionState>& s : sessions_) {
     if (s) depth += s->queue.depth();
@@ -171,7 +171,7 @@ IngestMetricsSnapshot IngestRouter::snapshot() {
   IngestMetricsSnapshot snap = metrics_.snapshot_totals();
   snap.profiler = core::Profiler::instance().snapshot();
   const Clock::time_point now = clock_();
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  slj::LockGuard lock(sessions_mutex_);
   for (const std::shared_ptr<SessionState>& s : sessions_) {
     if (!s) continue;
     ++snap.open_sessions;

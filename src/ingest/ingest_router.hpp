@@ -16,9 +16,9 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/stream_engine.hpp"
 #include "ingest/frame_queue.hpp"
 #include "ingest/ingest_metrics.hpp"
@@ -68,8 +68,8 @@ class IngestRouter {
 
   Clock::time_point now() const { return clock_(); }
 
-  int open(const RgbImage& background);
-  int open(const RgbImage& background, IngestSessionConfig config);
+  int open(const RgbImage& background) SLJ_EXCLUDES(sessions_mutex_);
+  int open(const RgbImage& background, IngestSessionConfig config) SLJ_EXCLUDES(sessions_mutex_);
 
   /// Offers one frame from any producer thread. Unknown ids throw
   /// std::invalid_argument; a closed (or closing) session returns kClosed —
@@ -80,11 +80,11 @@ class IngestRouter {
   /// Pops at most one ready frame per open session (in session-id order)
   /// into `batch` and builds the matching Feed list. Returns the number of
   /// frames drained. Single consumer.
-  std::size_t drain(DrainBatch& batch);
+  std::size_t drain(DrainBatch& batch) SLJ_EXCLUDES(sessions_mutex_);
 
   /// Appends the ids of sessions whose idle_timeout elapsed with an empty
   /// queue and no producer activity. Single consumer.
-  void collect_idle(std::vector<int>& out);
+  void collect_idle(std::vector<int>& out) SLJ_EXCLUDES(sessions_mutex_);
 
   /// Seals a session's queue: further pushes return kClosed, queued frames
   /// can still drain. Safe concurrently with producers.
@@ -94,11 +94,12 @@ class IngestRouter {
   /// (returned as the discard count through `discarded` when non-null) and
   /// finishes the underlying StreamSession. The caller must ensure the
   /// manager is not mid-tick.
-  core::JumpReport close(int session, std::uint64_t* discarded = nullptr);
+  core::JumpReport close(int session, std::uint64_t* discarded = nullptr)
+      SLJ_EXCLUDES(sessions_mutex_);
 
-  std::size_t open_sessions() const;
+  std::size_t open_sessions() const SLJ_EXCLUDES(sessions_mutex_);
   /// Frames queued across all open sessions.
-  std::size_t total_depth() const;
+  std::size_t total_depth() const SLJ_EXCLUDES(sessions_mutex_);
   /// Queue depth of one session (throws on unknown id).
   std::size_t depth(int session) const;
   /// Frames admitted into a session's queue so far (throws on unknown id).
@@ -107,7 +108,7 @@ class IngestRouter {
   IngestMetrics& metrics() { return metrics_; }
 
   /// Totals plus per-session rows and gauges.
-  IngestMetricsSnapshot snapshot();
+  IngestMetricsSnapshot snapshot() SLJ_EXCLUDES(sessions_mutex_);
 
  private:
   struct SessionState {
@@ -127,16 +128,22 @@ class IngestRouter {
           last_activity(now.time_since_epoch().count()) {}
   };
 
-  std::shared_ptr<SessionState> state_at(int session) const;  ///< throws on unknown id
+  std::shared_ptr<SessionState> state_at(int session) const
+      SLJ_EXCLUDES(sessions_mutex_);  ///< throws on unknown id
   friend class IngestService;  ///< bumps SessionState::delivered on delivery
-  std::shared_ptr<SessionState> state_if_open(int session) const;
+  std::shared_ptr<SessionState> state_if_open(int session) const SLJ_EXCLUDES(sessions_mutex_);
 
   core::StreamManager* manager_;
   Config config_;
   std::function<Clock::time_point()> clock_;
   IngestMetrics metrics_;
-  mutable std::mutex sessions_mutex_;
-  std::vector<std::shared_ptr<SessionState>> sessions_;  ///< index = id; null = closed
+  mutable slj::Mutex sessions_mutex_;
+  /// index = id; null = closed. The shared_ptrs themselves are guarded; a
+  /// SessionState's own fields are safe unlocked (atomics + the internally
+  /// locked FrameQueue), which is why push() can run outside this mutex.
+  std::vector<std::shared_ptr<SessionState>> sessions_ SLJ_GUARDED_BY(sessions_mutex_);
+  /// Scratch of drain(), a single-consumer entry point (scheduler thread
+  /// only) — deliberately not guarded: it never races itself.
   std::vector<std::shared_ptr<SessionState>> drain_scratch_;
 };
 

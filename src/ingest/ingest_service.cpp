@@ -21,10 +21,10 @@ int IngestService::open_session(const RgbImage& background, Sink sink) {
 int IngestService::open_session(const RgbImage& background, IngestSessionConfig config,
                                 Sink sink) {
   // pass_mutex_ keeps the manager's session table stable while a tick runs.
-  std::lock_guard<std::mutex> pass(pass_mutex_);
+  slj::LockGuard pass(pass_mutex_);
   const int id = router_.open(background, config);
   {
-    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    slj::LockGuard lock(sinks_mutex_);
     if (static_cast<std::size_t>(id) >= sinks_.size()) {
       sinks_.resize(static_cast<std::size_t>(id) + 1);
     }
@@ -59,7 +59,7 @@ PushOutcome IngestService::push(int session, const RgbImage& frame) {
       note_completed(1);  // the replaced frame is discharged, not delivered
     }
     {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      slj::LockGuard lock(wake_mutex_);
       work_pending_ = true;
     }
     wake_cv_.notify_one();
@@ -72,7 +72,7 @@ PushOutcome IngestService::push(int session, const RgbImage& frame) {
 void IngestService::start() {
   if (running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    slj::LockGuard lock(wake_mutex_);
     stop_requested_ = false;
   }
   running_.store(true, std::memory_order_release);
@@ -82,7 +82,7 @@ void IngestService::start() {
 void IngestService::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    slj::LockGuard lock(wake_mutex_);
     stop_requested_ = true;
   }
   wake_cv_.notify_all();
@@ -93,22 +93,26 @@ void IngestService::stop() {
 void IngestService::scheduler_loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      wake_cv_.wait_for(lock, config_.poll_interval,
-                        [&] { return stop_requested_ || work_pending_; });
+      slj::LockGuard lock(wake_mutex_);
+      // Deadline loop instead of a predicate wait_for: the guarded flags
+      // are re-read here, where the analysis can see wake_mutex_ is held.
+      const Clock::time_point deadline = Clock::now() + config_.poll_interval;
+      while (!stop_requested_ && !work_pending_) {
+        if (wake_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
       if (stop_requested_) return;
       work_pending_ = false;
     }
     bool more;
     {
-      std::lock_guard<std::mutex> pass(pass_mutex_);
+      slj::LockGuard pass(pass_mutex_);
       pass_locked();
       // A drain takes at most one frame per session; deeper queues mean the
       // next round is already due.
       more = router_.total_depth() > 0;
     }
     if (more) {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      slj::LockGuard lock(wake_mutex_);
       work_pending_ = true;
     }
   }
@@ -155,7 +159,7 @@ void IngestService::deliver_locked(std::size_t count) {
     // reentrancy warning on IngestService::Sink.
     Sink sink;
     {
-      std::lock_guard<std::mutex> lock(sinks_mutex_);
+      slj::LockGuard lock(sinks_mutex_);
       if (static_cast<std::size_t>(session) < sinks_.size()) {
         sink = sinks_[static_cast<std::size_t>(session)];
       }
@@ -180,7 +184,7 @@ void IngestService::evict_idle_locked() {
     }
     EvictionSink sink;
     {
-      std::lock_guard<std::mutex> lock(sinks_mutex_);
+      slj::LockGuard lock(sinks_mutex_);
       sink = eviction_sink_;
     }
     if (sink) sink(id, report);
@@ -194,7 +198,7 @@ void IngestService::note_completed(std::uint64_t n) {
   // is actually flushing, keeping the producer shed path atomic-only.
   if (flush_waiters_.load(std::memory_order_acquire) > 0) {
     {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
+      slj::LockGuard lock(flush_mutex_);
     }
     flush_cv_.notify_all();
   }
@@ -205,13 +209,15 @@ void IngestService::flush() {
   flush_waiters_.fetch_add(1, std::memory_order_acq_rel);
   while (completed_.load(std::memory_order_relaxed) < target) {
     if (running()) {
-      std::unique_lock<std::mutex> lock(flush_mutex_);
-      flush_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return completed_.load(std::memory_order_relaxed) >= target;
-      });
+      // Plain timed wait: the exit condition is the atomic re-checked by
+      // the enclosing while, so a predicate here would be redundant (and
+      // the 1 ms timeout already bounds a missed notify).
+      slj::LockGuard lock(flush_mutex_);
+      if (completed_.load(std::memory_order_relaxed) >= target) break;
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(1));
     } else {
       // Scheduler stopped: run the passes inline on the calling thread.
-      std::lock_guard<std::mutex> pass(pass_mutex_);
+      slj::LockGuard pass(pass_mutex_);
       pass_locked();
     }
   }
@@ -221,7 +227,7 @@ void IngestService::flush() {
 core::JumpReport IngestService::close_session(int session) {
   router_.seal(session);  // producers get kClosed from here on
   flush();                // deliver everything admitted before the seal
-  std::lock_guard<std::mutex> pass(pass_mutex_);
+  slj::LockGuard pass(pass_mutex_);
   std::uint64_t discarded = 0;
   const core::JumpReport report = router_.close(session, &discarded);
   if (discarded > 0) note_completed(discarded);
@@ -232,7 +238,7 @@ core::JumpReport IngestService::close_session(int session) {
 }
 
 void IngestService::set_eviction_sink(EvictionSink sink) {
-  std::lock_guard<std::mutex> lock(sinks_mutex_);
+  slj::LockGuard lock(sinks_mutex_);
   eviction_sink_ = std::move(sink);
 }
 

@@ -22,14 +22,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/stream_engine.hpp"
 #include "ingest/ingest_router.hpp"
 #include "ingest/ingest_tap.hpp"
@@ -77,25 +76,28 @@ class IngestService {
 
   /// Opens a live feed; `sink` (may be null) receives every StreamUpdate of
   /// this session, in admission order, on the scheduler thread.
-  int open_session(const RgbImage& background, Sink sink = nullptr);
-  int open_session(const RgbImage& background, IngestSessionConfig config, Sink sink = nullptr);
+  int open_session(const RgbImage& background, Sink sink = nullptr)
+      SLJ_EXCLUDES(pass_mutex_, sinks_mutex_);
+  int open_session(const RgbImage& background, IngestSessionConfig config, Sink sink = nullptr)
+      SLJ_EXCLUDES(pass_mutex_, sinks_mutex_);
 
   /// Offers one frame from any producer thread; returns the queue's verdict.
-  PushOutcome push(int session, const RgbImage& frame);
+  PushOutcome push(int session, const RgbImage& frame)
+      SLJ_EXCLUDES(wake_mutex_, flush_mutex_);
 
-  void start();
-  void stop();
+  void start() SLJ_EXCLUDES(wake_mutex_);
+  void stop() SLJ_EXCLUDES(wake_mutex_);
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Blocks until every frame admitted before the call is delivered or
   /// discarded. With the scheduler stopped, processes inline instead.
-  void flush();
+  void flush() SLJ_EXCLUDES(flush_mutex_, pass_mutex_);
 
   /// Seals the session (producers get kClosed), delivers everything still
   /// queued for it, then closes it and returns the final report.
-  core::JumpReport close_session(int session);
+  core::JumpReport close_session(int session) SLJ_EXCLUDES(pass_mutex_);
 
-  void set_eviction_sink(EvictionSink sink);
+  void set_eviction_sink(EvictionSink sink) SLJ_EXCLUDES(sinks_mutex_);
 
   /// Installs (or clears, with null) the record/replay tap. Install before
   /// traffic starts: the pointer itself is swapped atomically, but a tap
@@ -111,28 +113,30 @@ class IngestService {
  private:
   /// One drain->tick->deliver->evict round. Caller holds pass_mutex_.
   /// Returns the number of frames delivered.
-  std::size_t pass_locked();
-  void deliver_locked(std::size_t count);
-  void evict_idle_locked();
-  void scheduler_loop();
-  void note_completed(std::uint64_t n);
+  std::size_t pass_locked() SLJ_REQUIRES(pass_mutex_);
+  void deliver_locked(std::size_t count) SLJ_REQUIRES(pass_mutex_) SLJ_EXCLUDES(sinks_mutex_);
+  void evict_idle_locked() SLJ_REQUIRES(pass_mutex_) SLJ_EXCLUDES(sinks_mutex_);
+  void scheduler_loop() SLJ_EXCLUDES(wake_mutex_, pass_mutex_);
+  void note_completed(std::uint64_t n) SLJ_EXCLUDES(flush_mutex_);
 
   IngestServiceConfig config_;
+  /// Structurally serialized by pass_mutex_ (every tick/open/close runs
+  /// under it); not SLJ_GUARDED_BY so the manager() accessor stays usable —
+  /// the pass mutex is about *passes*, not about reading the reference.
   core::StreamManager manager_;
   IngestRouter router_;
 
   /// Serializes everything that touches the StreamManager: scheduler passes,
   /// inline flush passes, open/close. Producers never take it.
-  std::mutex pass_mutex_;
-  DrainBatch batch_;
-  std::vector<core::StreamUpdate> updates_;
-  std::vector<int> idle_scratch_;
+  slj::Mutex pass_mutex_;
+  DrainBatch batch_ SLJ_GUARDED_BY(pass_mutex_);
+  std::vector<core::StreamUpdate> updates_ SLJ_GUARDED_BY(pass_mutex_);
+  std::vector<int> idle_scratch_ SLJ_GUARDED_BY(pass_mutex_);
 
-  /// Sinks by session id; guarded by sinks_mutex_ (set at open, read by the
-  /// scheduler).
-  std::mutex sinks_mutex_;
-  std::vector<Sink> sinks_;
-  EvictionSink eviction_sink_;
+  /// Sinks by session id (set at open, read by the scheduler).
+  slj::Mutex sinks_mutex_;
+  std::vector<Sink> sinks_ SLJ_GUARDED_BY(sinks_mutex_);
+  EvictionSink eviction_sink_ SLJ_GUARDED_BY(sinks_mutex_);
 
   /// Record/replay tap; null when not recording. Producer threads read it
   /// with acquire loads on every push.
@@ -146,15 +150,17 @@ class IngestService {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<int> flush_waiters_{0};
-  std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
+  /// flush_mutex_ guards no state: it only sequences the wakeup hint in
+  /// note_completed against flush()'s timed wait on the atomics.
+  slj::Mutex flush_mutex_;
+  slj::CondVar flush_cv_;
 
   std::thread scheduler_;
   std::atomic<bool> running_{false};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
-  bool stop_requested_ = false;
-  bool work_pending_ = false;
+  slj::Mutex wake_mutex_;
+  slj::CondVar wake_cv_;
+  bool stop_requested_ SLJ_GUARDED_BY(wake_mutex_) = false;
+  bool work_pending_ SLJ_GUARDED_BY(wake_mutex_) = false;
 };
 
 }  // namespace slj::ingest

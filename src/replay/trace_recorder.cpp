@@ -16,7 +16,7 @@ std::int64_t TraceRecorder::relative_ns(ingest::Clock::time_point now) {
 void TraceRecorder::on_open(ingest::Clock::time_point now, int session,
                             const ingest::IngestSessionConfig& config,
                             const RgbImage& background) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   OpenRecord record;
   record.t_ns = relative_ns(now);
   record.session = session;
@@ -28,7 +28,7 @@ void TraceRecorder::on_open(ingest::Clock::time_point now, int session,
 
 void TraceRecorder::on_push(ingest::Clock::time_point now, int session, const RgbImage& frame,
                             ingest::PushOutcome outcome, std::uint64_t sequence) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   PushRecord record;
   record.t_ns = relative_ns(now);
   record.session = session;
@@ -43,7 +43,7 @@ void TraceRecorder::on_push(ingest::Clock::time_point now, int session, const Rg
 
 void TraceRecorder::on_tick(ingest::Clock::time_point now, const ingest::DrainBatch& batch,
                             const std::vector<core::StreamUpdate>& updates, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   TickRecord record;
   record.t_ns = relative_ns(now);
   record.entries.reserve(count);
@@ -61,7 +61,7 @@ void TraceRecorder::on_tick(ingest::Clock::time_point now, const ingest::DrainBa
 void TraceRecorder::on_close(ingest::Clock::time_point now, int session,
                              const core::JumpReport& report, std::uint64_t discarded,
                              bool evicted) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   CloseRecord record;
   record.t_ns = relative_ns(now);
   record.session = session;
@@ -73,7 +73,7 @@ void TraceRecorder::on_close(ingest::Clock::time_point now, int session,
 }
 
 void TraceRecorder::finish(const ingest::IngestMetricsSnapshot& metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   SummaryRecord record;  // t_ns stays 0: the summary carries totals, not an event time
   record.pushed = metrics.pushed;
   record.delivered = metrics.delivered;
@@ -89,7 +89,7 @@ void TraceRecorder::finish(const ingest::IngestMetricsSnapshot& metrics) {
 }
 
 std::uint64_t TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  slj::LockGuard lock(mutex_);
   return events_;
 }
 

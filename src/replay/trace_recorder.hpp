@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "core/annotations.hpp"
 #include "ingest/ingest_tap.hpp"
 #include "replay/trace_format.hpp"
 
@@ -29,30 +29,34 @@ class TraceRecorder : public ingest::IngestTap {
   // IngestTap — called by IngestService; serialized here because on_push
   // arrives from arbitrary producer threads.
   void on_open(ingest::Clock::time_point now, int session,
-               const ingest::IngestSessionConfig& config, const RgbImage& background) override;
+               const ingest::IngestSessionConfig& config, const RgbImage& background)
+      SLJ_EXCLUDES(mutex_) override;
   void on_push(ingest::Clock::time_point now, int session, const RgbImage& frame,
-               ingest::PushOutcome outcome, std::uint64_t sequence) override;
+               ingest::PushOutcome outcome, std::uint64_t sequence)
+      SLJ_EXCLUDES(mutex_) override;
   void on_tick(ingest::Clock::time_point now, const ingest::DrainBatch& batch,
-               const std::vector<core::StreamUpdate>& updates, std::size_t count) override;
+               const std::vector<core::StreamUpdate>& updates, std::size_t count)
+      SLJ_EXCLUDES(mutex_) override;
   void on_close(ingest::Clock::time_point now, int session, const core::JumpReport& report,
-                std::uint64_t discarded, bool evicted) override;
+                std::uint64_t discarded, bool evicted)
+      SLJ_EXCLUDES(mutex_) override;
 
   /// Appends the summary record from a quiescent plane's metrics snapshot
   /// and seals the file. Call after flush()/close_session of every session,
   /// with the tap uninstalled or traffic stopped. Idempotent is not
   /// attempted: call exactly once.
-  void finish(const ingest::IngestMetricsSnapshot& metrics);
+  void finish(const ingest::IngestMetricsSnapshot& metrics) SLJ_EXCLUDES(mutex_);
 
   /// Events appended so far (excluding the summary).
-  std::uint64_t events() const;
+  std::uint64_t events() const SLJ_EXCLUDES(mutex_);
 
  private:
-  std::int64_t relative_ns(ingest::Clock::time_point now);
+  std::int64_t relative_ns(ingest::Clock::time_point now) SLJ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  TraceWriter writer_;
-  std::optional<ingest::Clock::time_point> t0_;
-  std::uint64_t events_ = 0;
+  mutable slj::Mutex mutex_;
+  TraceWriter writer_ SLJ_GUARDED_BY(mutex_);
+  std::optional<ingest::Clock::time_point> t0_ SLJ_GUARDED_BY(mutex_);
+  std::uint64_t events_ SLJ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace slj::replay

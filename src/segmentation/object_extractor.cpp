@@ -103,7 +103,7 @@ ExtractionResult ObjectExtractor::extract(const RgbImage& frame) const {
   return res;
 }
 
-double ObjectExtractor::extract_into(const RgbImage& frame, FrameWorkspace& ws,
+SLJ_HOT_PATH double ObjectExtractor::extract_into(const RgbImage& frame, FrameWorkspace& ws,
                                      BinaryImage& silhouette_out) const {
   if (!background_.has_background()) {
     throw std::logic_error("ObjectExtractor: background not set");

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/annotations.hpp"
 #include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
 #include "segmentation/background_model.hpp"
@@ -59,7 +60,7 @@ class ObjectExtractor {
   /// state — same-sized frames through the same workspace — no full-frame
   /// buffer is heap-allocated. Output is bit-identical to extract(). Returns
   /// max(D) (step v), which extract() reports as max_difference.
-  double extract_into(const RgbImage& frame, FrameWorkspace& ws,
+  SLJ_HOT_PATH double extract_into(const RgbImage& frame, FrameWorkspace& ws,
                       BinaryImage& silhouette_out) const;
 
   /// Shortcut returning only the final silhouette.

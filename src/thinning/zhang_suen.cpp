@@ -92,7 +92,7 @@ bool deletable(const BinaryImage& img, int x, int y, bool first) {
 
 }  // namespace
 
-void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& ws, BinaryImage& out,
+SLJ_HOT_PATH void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& ws, BinaryImage& out,
                           ThinningStats* stats) {
   out = img;  // vector copy-assignment: reuses out's buffer at steady state
   const int w = out.width();

@@ -12,6 +12,7 @@
 // (handled by skelgraph).
 #pragma once
 
+#include "core/annotations.hpp"
 #include "imaging/frame_workspace.hpp"
 #include "imaging/image.hpp"
 
@@ -38,7 +39,7 @@ BinaryImage zhang_suen_thin(const BinaryImage& img, ThinningStats* stats = nullp
 ///    its previous (non-deletable) answer, so later passes cost O(frontier)
 ///    instead of O(W·H).
 /// `out` must not alias `img`. Stats match zhang_suen_thin exactly.
-void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& ws, BinaryImage& out,
+SLJ_HOT_PATH void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& ws, BinaryImage& out,
                           ThinningStats* stats = nullptr);
 
 /// One full Zhang–Suen pass (both sub-iterations) in place. Returns pixels

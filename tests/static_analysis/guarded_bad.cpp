@@ -1,0 +1,32 @@
+// Negative-compile fixture: reads and writes a SLJ_GUARDED_BY member
+// without holding its mutex. Under clang with -Werror=thread-safety-analysis
+// this file MUST fail to compile — if it ever compiles there, the
+// thread-safety gate has silently stopped gating. (Under gcc the annotations
+// are no-ops and the file compiles; the harness only runs the negative
+// check with a clang compiler.)
+#include "core/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // guarded write, no lock held: thread-safety error on clang
+  }
+
+  int value_unlocked() const {
+    return value_;  // guarded read, no lock held: thread-safety error on clang
+  }
+
+ private:
+  mutable slj::Mutex mutex_;
+  int value_ SLJ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int guarded_bad_entry() {
+  Counter c;
+  c.bump_unlocked();
+  return c.value_unlocked();
+}

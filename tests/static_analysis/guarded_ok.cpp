@@ -1,0 +1,34 @@
+// Positive control for the thread-safety gate: a correctly locked counter.
+// This file must compile under EVERY supported compiler — on clang it proves
+// the annotations are consistent; on gcc it proves they degrade to no-ops
+// (a regression in core/annotations.hpp's portability shows up here first).
+#include "core/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() SLJ_EXCLUDES(mutex_) {
+    slj::LockGuard lock(mutex_);
+    ++value_;
+  }
+
+  int value() SLJ_EXCLUDES(mutex_) {
+    slj::LockGuard lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() SLJ_REQUIRES(mutex_) { ++value_; }
+
+  slj::Mutex mutex_;
+  int value_ SLJ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int guarded_ok_entry() {
+  Counter c;
+  c.bump();
+  return c.value();
+}

@@ -1,0 +1,18 @@
+// Lint fixture: a SLJ_HOT_PATH function that allocates every way the
+// hot-path-alloc rule bans. slj_lint MUST report findings here (the harness
+// asserts a non-zero exit and one finding per planted violation). The file
+// is still valid C++ — it compiles fine — which is exactly why the invariant
+// needs a linter and not the compiler.
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+SLJ_HOT_PATH void hot_path_bad(int frames) {
+  std::vector<int> scratch;                       // by-value owning container local
+  scratch.reserve(static_cast<std::size_t>(frames));  // growth on a non-reference root
+  int* raw = new int[static_cast<std::size_t>(frames)];  // new expression
+  std::string label = std::to_string(frames);     // std::to_string allocates
+  delete[] raw;
+  (void)label;
+}

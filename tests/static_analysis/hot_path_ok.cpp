@@ -1,0 +1,25 @@
+// Lint fixture: the sanctioned recycled-workspace idiom. Growth calls are
+// rooted in reference parameters or local reference aliases of them, so the
+// buffers amortize to zero allocations in steady state. slj_lint MUST pass
+// this file — a false positive here means the rule broke the real kernels'
+// idiom (zhang_suen_thin_into's alias pattern is modelled directly).
+#include <cstddef>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+struct Workspace {
+  std::vector<int> candidates_first;
+  std::vector<int> candidates_second;
+};
+
+SLJ_HOT_PATH void hot_path_ok(Workspace& ws, std::vector<int>& out, int frames) {
+  out.resize(static_cast<std::size_t>(frames));  // growth on a reference parameter
+  auto& cand = ws.candidates_first;              // local reference alias into the workspace
+  cand.clear();
+  for (int i = 0; i < frames; ++i) {
+    cand.push_back(i);                           // growth through the alias
+    if (i < 0) throw frames;                     // cold error path: exempt even if it allocated
+  }
+  ws.candidates_second.assign(cand.begin(), cand.end());  // growth rooted at the parameter
+}

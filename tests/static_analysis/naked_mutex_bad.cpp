@@ -1,0 +1,25 @@
+// Lint fixture: raw standard-library locking primitives. Everything here
+// must go through slj::Mutex / slj::LockGuard / slj::CondVar instead, so
+// Clang thread-safety analysis sees the acquisitions; slj_lint MUST flag
+// every declaration below.
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+struct BadLocking {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu);
+    cv.notify_one();
+  }
+};
+
+}  // namespace
+
+void naked_mutex_entry() {
+  BadLocking b;
+  b.touch();
+}

@@ -1,0 +1,20 @@
+// Lint fixture for the unchecked-read rule. The harness stages this file as
+// src/synth/clip_io.cpp inside a throwaway tree (the rule is scoped to the
+// real deserializer files by path), where sizing a container straight from
+// a decoded length with no kMax* cap / need() / fail() / check_* / throw in
+// the same function MUST be flagged.
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  std::uint32_t u32();
+};
+
+struct Clip {
+  std::vector<int> frames;
+};
+
+void load_clip(Reader& r, Clip& clip) {
+  const std::uint32_t frames = r.u32();
+  clip.frames.reserve(frames);  // attacker-controlled length, no guard
+}

@@ -264,6 +264,78 @@ TEST(FrameQueue, RejectsZeroCapacity) {
   EXPECT_THROW(FrameQueue{config}, std::invalid_argument);
 }
 
+TEST(FrameQueue, CloseWakesEveryBlockedProducerAtOnce) {
+  FrameQueueConfig config;
+  config.capacity = 1;
+  config.policy = BackpressurePolicy::kBlock;
+  FrameQueue queue(config);
+  EXPECT_EQ(queue.push(tagged_frame(1), at_ms(0)), PushOutcome::kAccepted);
+
+  // Four producers park on the same full slot; close() must wake them all
+  // (notify_one here would strand three threads forever).
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      EXPECT_EQ(queue.push(tagged_frame(static_cast<std::uint8_t>(10 + p)), at_ms(1)),
+                PushOutcome::kClosed);
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  queue.close();
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_TRUE(queue.closed());
+  // Only the pre-close frame survives.
+  PendingFrame out;
+  ASSERT_TRUE(queue.pop_into(out));
+  EXPECT_EQ(tag_of(out.frame), 1);
+  EXPECT_FALSE(queue.pop_into(out));
+  EXPECT_EQ(queue.admitted(), 1u);
+}
+
+TEST(FrameQueue, ConcurrentPushesRacingCloseAccountExactly) {
+  // Producers race a close() landing mid-stream. Whatever the interleaving,
+  // the accounting must balance: every push returns kAccepted or kClosed,
+  // admitted() equals the accepted count, and exactly that many frames
+  // drain afterwards — no frame is both refused and enqueued, none vanish.
+  FrameQueueConfig config;
+  config.capacity = 64;  // roomy: rarely fills before the close lands
+  config.policy = BackpressurePolicy::kBlock;  // kAccepted/kClosed are the only outcomes
+  FrameQueue queue(config);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 32;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const PushOutcome outcome = queue.push(tagged_frame(7), at_ms(i));
+        if (outcome == PushOutcome::kAccepted) {
+          accepted.fetch_add(1);
+        } else {
+          ASSERT_EQ(outcome, PushOutcome::kClosed);
+        }
+      }
+    });
+  }
+  queue.close();  // races the pushes by design
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_EQ(queue.admitted(), static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(queue.depth(), static_cast<std::size_t>(accepted.load()));
+  PendingFrame out;
+  std::uint64_t drained = 0;
+  std::uint64_t last_sequence = 0;
+  while (queue.pop_into(out)) {
+    // Sequences stay strictly increasing across the close boundary.
+    if (drained > 0) EXPECT_GT(out.sequence, last_sequence);
+    last_sequence = out.sequence;
+    ++drained;
+  }
+  EXPECT_EQ(drained, static_cast<std::uint64_t>(accepted.load()));
+}
+
 // ---- LatencyHistogram ------------------------------------------------------
 
 TEST(LatencyHistogram, QuantilesCarryAtMostOneOctaveOfError) {
@@ -701,6 +773,141 @@ TEST(IngestService, CloseSessionFlushesQueuedFramesFirst) {
   EXPECT_EQ(delivered.load(), static_cast<int>(clip.frames.size()));
   EXPECT_EQ(report.total_count(), 6);
   EXPECT_EQ(service.metrics().delivered, clip.frames.size());
+}
+
+TEST(IngestService, StopMidStreamThenFlushDeliversTheRemainderInline) {
+  const pose::PoseDbnClassifier classifier;
+  const synth::Clip clip = make_clip(66, 12);
+
+  IngestServiceConfig config;
+  config.manager.workers = 1;
+  config.poll_interval = 1ms;
+  IngestService service(classifier, {}, config);
+  IngestSessionConfig session_config;
+  session_config.queue.capacity = clip.frames.size();
+  std::mutex delivered_mutex;
+  std::vector<std::uint64_t> delivered;
+  const int id = service.open_session(clip.background, session_config,
+                                      [&](const Delivery& d) {
+                                        std::lock_guard<std::mutex> lock(delivered_mutex);
+                                        delivered.push_back(d.sequence);
+                                      });
+
+  // First half rides the live scheduler; then stop() lands mid-stream with
+  // the second half still queued (or not yet pushed). Frames admitted after
+  // stop stay queued — flush() must process them inline on this thread.
+  service.start();
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(service.push(id, clip.frames[i]), PushOutcome::kAccepted);
+  }
+  service.stop();
+  for (std::size_t i = 6; i < clip.frames.size(); ++i) {
+    ASSERT_EQ(service.push(id, clip.frames[i]), PushOutcome::kAccepted);
+  }
+  service.flush();
+
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  ASSERT_EQ(delivered.size(), clip.frames.size());
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i], i);  // admission order survives the stop boundary
+  }
+  EXPECT_EQ(service.metrics().delivered, clip.frames.size());
+}
+
+TEST(IngestService, StopStartCyclesKeepDeliveryOrderAndAccounting) {
+  const pose::PoseDbnClassifier classifier;
+  const synth::Clip clip = make_clip(77, 12);
+
+  IngestServiceConfig config;
+  config.manager.workers = 1;
+  config.poll_interval = 1ms;
+  IngestService service(classifier, {}, config);
+  IngestSessionConfig session_config;
+  session_config.queue.capacity = 4;
+  session_config.queue.policy = BackpressurePolicy::kBlock;
+  std::mutex delivered_mutex;
+  std::vector<std::uint64_t> delivered;
+  const int id = service.open_session(clip.background, session_config,
+                                      [&](const Delivery& d) {
+                                        std::lock_guard<std::mutex> lock(delivered_mutex);
+                                        delivered.push_back(d.sequence);
+                                      });
+
+  // Three stop/start cycles, four frames each. stop() is idempotent-safe to
+  // call around flush(), and a restarted scheduler must pick the plane back
+  // up with no frame lost, duplicated, or reordered.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    service.start();
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t frame = static_cast<std::size_t>(cycle) * 4 + i;
+      ASSERT_EQ(service.push(id, clip.frames[frame]), PushOutcome::kAccepted);
+    }
+    service.flush();
+    service.stop();
+    service.stop();  // second stop is a no-op, not a crash or a hang
+  }
+
+  std::lock_guard<std::mutex> lock(delivered_mutex);
+  ASSERT_EQ(delivered.size(), clip.frames.size());
+  for (std::size_t i = 0; i < delivered.size(); ++i) EXPECT_EQ(delivered[i], i);
+  const IngestMetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.pushed, clip.frames.size());
+  EXPECT_EQ(snap.delivered, clip.frames.size());
+}
+
+TEST(IngestService, CloseSessionRacingBlockedProducersNeverHangs) {
+  const pose::PoseDbnClassifier classifier;
+  const synth::Clip clip = make_clip(88, 8);
+
+  IngestServiceConfig config;
+  config.manager.workers = 1;
+  config.poll_interval = 1ms;
+  IngestService service(classifier, {}, config);
+  IngestSessionConfig session_config;
+  session_config.queue.capacity = 1;  // tiny: producers block almost immediately
+  session_config.queue.policy = BackpressurePolicy::kBlock;
+  std::atomic<int> delivered{0};
+  const int id = service.open_session(clip.background, session_config,
+                                      [&](const Delivery&) { delivered.fetch_add(1); });
+
+  // Producers hammer a 1-deep blocking queue while close_session() lands
+  // concurrently. The seal must wake any parked producer with kClosed
+  // (not strand it), and close_session's internal flush must account every
+  // admitted frame so neither side deadlocks.
+  service.start();
+  std::atomic<int> accepted{0};
+  std::atomic<int> closed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (const RgbImage& frame : clip.frames) {
+        switch (service.push(id, frame)) {
+          case PushOutcome::kAccepted:
+          case PushOutcome::kReplacedOldest:
+            accepted.fetch_add(1);
+            break;
+          case PushOutcome::kClosed:
+            closed.fetch_add(1);
+            break;
+          default:
+            break;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(5ms);  // let some traffic through first
+  const core::JumpReport report = service.close_session(id);
+  for (std::thread& t : producers) t.join();
+  service.stop();
+
+  // Every producer attempt resolved one way or the other, and the session
+  // is gone. Frames admitted before the seal were delivered or discarded
+  // by the close — either way flush() discharged them, or we'd still be
+  // blocked inside close_session above.
+  EXPECT_EQ(accepted.load() + closed.load(), 3 * static_cast<int>(clip.frames.size()));
+  EXPECT_EQ(service.open_sessions(), 0u);
+  EXPECT_GE(report.total_count(), 0);
+  EXPECT_LE(delivered.load(), accepted.load());
 }
 
 }  // namespace

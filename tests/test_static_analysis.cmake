@@ -1,0 +1,132 @@
+# Negative-compile and linter-fixture suite for the static-analysis gates.
+#
+# Run standalone:   cmake -P tests/test_static_analysis.cmake
+# Via the CI lane:  scripts/ci.sh --analyze
+# Via ctest:        registered as `static_analysis` by the top-level build.
+#
+# The point of this suite is the *negative* direction: a gate that only ever
+# sees clean code can silently stop gating. Each check below plants a known
+# violation and asserts the gate rejects it, alongside a positive control
+# asserting the sanctioned idiom still passes.
+#
+# Optional -D inputs:
+#   SLJ_CXX        C++ compiler for the compile checks (default: clang++ if
+#                  found, else c++ / g++). The thread-safety negative check
+#                  only runs when the compiler is clang; elsewhere it is
+#                  skipped with a note, because the annotations deliberately
+#                  compile away (see src/core/annotations.hpp).
+#   SLJ_BUILD_DIR  unused today; accepted so callers can forward it.
+cmake_minimum_required(VERSION 3.24)
+
+get_filename_component(SLJ_ROOT "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+set(FIXTURES "${SLJ_ROOT}/tests/static_analysis")
+set(LINT "${SLJ_ROOT}/scripts/lint/slj_lint.py")
+set(SCRATCH "${CMAKE_CURRENT_BINARY_DIR}/static_analysis_scratch")
+file(MAKE_DIRECTORY "${SCRATCH}")
+
+find_program(SLJ_PYTHON NAMES python3 python REQUIRED)
+
+if(NOT SLJ_CXX)
+  find_program(SLJ_CXX NAMES clang++ c++ g++)
+endif()
+if(NOT SLJ_CXX)
+  message(FATAL_ERROR "static_analysis: no C++ compiler found")
+endif()
+
+set(FAILURES 0)
+
+function(check_pass name)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(SEND_ERROR "FAIL ${name}: expected success, got exit ${rc}\n${out}${err}")
+    math(EXPR FAILURES "${FAILURES}+1")
+    set(FAILURES "${FAILURES}" PARENT_SCOPE)
+  else()
+    message(STATUS "PASS ${name}")
+  endif()
+endfunction()
+
+# expect_substrings: every listed needle must appear in the combined output.
+function(check_fail name expect_substrings)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  set(combined "${out}${err}")
+  if(rc EQUAL 0)
+    message(SEND_ERROR "FAIL ${name}: expected rejection, but the gate passed it")
+    math(EXPR FAILURES "${FAILURES}+1")
+    set(FAILURES "${FAILURES}" PARENT_SCOPE)
+    return()
+  endif()
+  foreach(needle IN LISTS expect_substrings)
+    string(FIND "${combined}" "${needle}" hit)
+    if(hit EQUAL -1)
+      message(SEND_ERROR
+        "FAIL ${name}: rejected, but output lacks \"${needle}\"\n${combined}")
+      math(EXPR FAILURES "${FAILURES}+1")
+      set(FAILURES "${FAILURES}" PARENT_SCOPE)
+      return()
+    endif()
+  endforeach()
+  message(STATUS "PASS ${name}")
+endfunction()
+
+# --- 1. slj_lint rejects the hot-path allocation fixture --------------------
+set(hot_bad_expect "hot-path-alloc" "scratch" "new" "to_string")
+check_fail("lint rejects hot_path_bad" "${hot_bad_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/hot_path_bad.cpp")
+
+# --- 2. slj_lint passes the recycled-workspace idiom ------------------------
+check_pass("lint passes hot_path_ok"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/hot_path_ok.cpp")
+
+# --- 3. slj_lint rejects naked standard-library locking ---------------------
+set(mutex_expect "naked-mutex" "std::mutex" "std::condition_variable")
+check_fail("lint rejects naked_mutex_bad" "${mutex_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/naked_mutex_bad.cpp")
+
+# --- 4. slj_lint rejects an unguarded deserializer length -------------------
+# The rule is scoped to the real deserializer paths, so stage the fixture as
+# one of them inside a throwaway tree.
+file(MAKE_DIRECTORY "${SCRATCH}/unchecked/src/synth")
+configure_file("${FIXTURES}/unchecked_read_bad.cpp"
+               "${SCRATCH}/unchecked/src/synth/clip_io.cpp" COPYONLY)
+check_fail("lint rejects unchecked_read_bad" "unchecked-read"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SCRATCH}/unchecked" -q)
+
+# --- 5. slj_lint passes the real tree ---------------------------------------
+check_pass("lint passes src/"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q)
+
+# --- 6. annotations compile everywhere (positive control) -------------------
+# Exercises the degradation path: on clang the annotations are analyzed, on
+# gcc they expand to nothing; either way this file must be accepted.
+check_pass("guarded_ok compiles (${SLJ_CXX})"
+  "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+  "${FIXTURES}/guarded_ok.cpp")
+
+# hot_path_bad is valid C++ — the compiler must accept what only the linter
+# rejects, or the fixture is testing the wrong layer.
+check_pass("hot_path_bad compiles (${SLJ_CXX})"
+  "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+  "${FIXTURES}/hot_path_bad.cpp")
+
+# --- 7. clang rejects the unlocked guarded access ---------------------------
+execute_process(COMMAND "${SLJ_CXX}" --version OUTPUT_VARIABLE cxx_version
+                ERROR_QUIET)
+if(cxx_version MATCHES "clang")
+  check_fail("thread-safety rejects guarded_bad" "thread-safety"
+    "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+    -Wthread-safety -Werror=thread-safety-analysis
+    "${FIXTURES}/guarded_bad.cpp")
+else()
+  message(STATUS "SKIP thread-safety negative check: ${SLJ_CXX} is not clang "
+                 "(annotations compile away; see src/core/annotations.hpp)")
+endif()
+
+file(REMOVE_RECURSE "${SCRATCH}")
+
+if(FAILURES GREATER 0)
+  message(FATAL_ERROR "static_analysis: ${FAILURES} check(s) failed")
+endif()
+message(STATUS "static_analysis: all checks passed")
