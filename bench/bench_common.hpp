@@ -2,14 +2,48 @@
 // trained classifier, and small table-printing utilities.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "core/evaluation.hpp"
+#include "core/simd.hpp"
 #include "core/trainer.hpp"
 #include "synth/dataset.hpp"
 
 namespace slj::bench {
+
+/// Build + host provenance for BENCH_*.json: two measurements are only
+/// comparable if the commit, compiler, flag set, SIMD backend, and core
+/// count behind them are known. The git SHA comes from the environment
+/// (scripts/bench.sh exports SLJ_GIT_SHA) so the binary needs no VCS
+/// awareness; SLJ_BUILD_FLAGS is baked in by CMake.
+inline std::string host_json() {
+#ifndef SLJ_BUILD_FLAGS
+#define SLJ_BUILD_FLAGS "unknown"
+#endif
+#ifdef __VERSION__
+  const char* compiler = __VERSION__;
+#else
+  const char* compiler = "unknown";
+#endif
+  const char* sha = std::getenv("SLJ_GIT_SHA");
+  char buf[768];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"git_sha\": \"%s\",\n"
+                "  \"compiler\": \"%s\",\n"
+                "  \"build_flags\": \"%s\",\n"
+                "  \"simd\": {\"backend\": \"%s\", \"f64_lanes\": %d, \"u8_lanes\": %d},\n"
+                "  \"hardware_concurrency\": %u\n"
+                "}",
+                sha != nullptr ? sha : "unknown", compiler, SLJ_BUILD_FLAGS,
+                simd::backend_name(), simd::f64_lanes(), simd::u8_lanes(),
+                std::max(1u, std::thread::hardware_concurrency()));
+  return buf;
+}
 
 /// The reference corpus: 12 training clips (522 frames), 3 test clips
 /// (135 frames), matching the paper's Sec. 5 counts. Seed fixed so every

@@ -6,7 +6,9 @@
 // apples comparison) and the tracker-enabled batch mode.
 //
 // With --json FILE, the measurements are also written as a JSON document
-// (consumed by scripts/bench.sh to assemble BENCH_pr4.json).
+// (consumed by scripts/bench.sh to assemble BENCH_*.json), including build
+// provenance (git SHA, compiler, flags, SIMD backend) and explicit skip
+// markers for rows a single-core host cannot measure meaningfully.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -91,10 +93,20 @@ int main(int argc, char** argv) {
   }
   bench::print_rule();
 
+  // Multi-worker rows are only meaningful with real cores behind them; on a
+  // single-core host they would measure oversubscription noise, so they are
+  // recorded as explicitly skipped instead of silently omitted (or worse,
+  // silently bogus).
   std::vector<unsigned> worker_counts = {1, 2, 4};
   if (hw > 4) worker_counts.push_back(hw);
-  std::vector<std::pair<unsigned, double>> engine_ms;
+  std::vector<std::pair<unsigned, double>> engine_ms;  // ms < 0: skipped
   for (const unsigned workers : worker_counts) {
+    if (workers > 1 && hw == 1) {
+      engine_ms.emplace_back(workers, -1.0);
+      std::printf("ClipEngine batch, %2u workers    skipped (hardware_concurrency == 1)\n",
+                  workers);
+      continue;
+    }
     core::ClipEngineConfig config;
     config.workers = workers;
     core::ClipEngine engine({}, config);
@@ -105,6 +117,33 @@ int main(int argc, char** argv) {
     std::printf("ClipEngine batch, %2u workers   %8.1f ms   %7.1f frames/s   speedup %.2fx\n",
                 workers, ms, 1000.0 * frames / ms, serial_ms / ms);
     (void)results;
+  }
+  bench::print_rule();
+
+  // Intra-frame row banding (PR-8): frames walk serially, each frame's
+  // segmentation rows spread across the pool. bands = 1 exercises the same
+  // serial walk through the engine (the banding baseline); bands > 1 needs
+  // real cores, so those rows carry the same skip marker on 1-core hosts.
+  std::vector<std::pair<int, double>> banded_ms;  // ms < 0: skipped
+  for (const int bands : {1, 2, 4}) {
+    if (bands > 1 && hw == 1) {
+      banded_ms.emplace_back(bands, -1.0);
+      std::printf("ClipEngine, %d row bands        skipped (hardware_concurrency == 1)\n", bands);
+      continue;
+    }
+    core::ClipEngineConfig config;
+    config.workers = hw;
+    config.intra_frame_bands = bands;
+    core::ClipEngine engine({}, config);
+    const auto start = Clock::now();
+    for (const synth::Clip& clip : clips) {
+      const core::ClipObservation result = engine.process(clip.background, clip.frames);
+      (void)result;
+    }
+    const double ms = ms_since(start);
+    banded_ms.emplace_back(bands, ms);
+    std::printf("ClipEngine, %d row bands       %8.1f ms   %7.1f frames/s   speedup %.2fx\n",
+                bands, ms, 1000.0 * frames / ms, serial_ms / ms);
   }
   bench::print_rule();
 
@@ -130,6 +169,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"host\": %s,\n", bench::host_json().c_str());
     std::fprintf(f, "  \"clips\": %zu,\n  \"frames\": %zu,\n  \"hardware_concurrency\": %u,\n",
                  clips.size(), frames, hw);
     std::fprintf(f, "  \"serial_seed\": {\"ms\": %.3f, \"frames_per_s\": %.1f},\n", serial_ms,
@@ -141,11 +181,35 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"engine\": [\n");
     for (std::size_t i = 0; i < engine_ms.size(); ++i) {
       const auto [workers, ms] = engine_ms[i];
-      std::fprintf(f,
-                   "    {\"workers\": %u, \"ms\": %.3f, \"frames_per_s\": %.1f, "
-                   "\"speedup_vs_seed\": %.3f}%s\n",
-                   workers, ms, 1000.0 * frames / ms, serial_ms / ms,
-                   i + 1 < engine_ms.size() ? "," : "");
+      const char* sep = i + 1 < engine_ms.size() ? "," : "";
+      if (ms < 0.0) {
+        std::fprintf(f,
+                     "    {\"workers\": %u, \"skipped\": true, "
+                     "\"reason\": \"hardware_concurrency == 1\"}%s\n",
+                     workers, sep);
+      } else {
+        std::fprintf(f,
+                     "    {\"workers\": %u, \"ms\": %.3f, \"frames_per_s\": %.1f, "
+                     "\"speedup_vs_seed\": %.3f}%s\n",
+                     workers, ms, 1000.0 * frames / ms, serial_ms / ms, sep);
+      }
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"banded\": [\n");
+    for (std::size_t i = 0; i < banded_ms.size(); ++i) {
+      const auto [bands, ms] = banded_ms[i];
+      const char* sep = i + 1 < banded_ms.size() ? "," : "";
+      if (ms < 0.0) {
+        std::fprintf(f,
+                     "    {\"bands\": %d, \"skipped\": true, "
+                     "\"reason\": \"hardware_concurrency == 1\"}%s\n",
+                     bands, sep);
+      } else {
+        std::fprintf(f,
+                     "    {\"bands\": %d, \"ms\": %.3f, \"frames_per_s\": %.1f, "
+                     "\"speedup_vs_seed\": %.3f}%s\n",
+                     bands, ms, 1000.0 * frames / ms, serial_ms / ms, sep);
+      }
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"engine_tracker\": {\"workers\": %u, \"ms\": %.3f, \"frames_per_s\": %.1f}\n",

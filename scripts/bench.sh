@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Perf trajectory: builds Release, runs the engine + ingest + profiler
-# benches, and emits BENCH_pr6.json (frames/sec, p50/p99 per-frame latency,
+# benches, and emits BENCH_pr8.json (frames/sec, p50/p99 per-frame latency,
 # the ingest plane's sustained throughput / drop rate / end-to-end latency,
-# and the profiler overhead guard). CI uploads the file as an artifact so
+# and the profiler overhead guard), stamped with build provenance (git SHA,
+# compiler + flags, SIMD backend). CI uploads the file as an artifact so
 # regressions are visible PR over PR.
+#
+# SIMD: if the host CPU advertises AVX2, the build is configured with
+# -DSLJ_SIMD=AVX2 (4 f64 lanes instead of SSE2's 2); override by exporting
+# SLJ_BENCH_SIMD=OFF|SSE2|AVX2|NEON|AUTO.
 #
 # Failure contract: if ANY bench binary fails, this script exits non-zero
 # and writes NO output file. The JSON is assembled in a temp file and moved
@@ -15,9 +20,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr6.json}"
+OUT="${2:-BENCH_pr8.json}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+# Pick the widest backend the host supports unless the caller pinned one.
+if [[ -z "${SLJ_BENCH_SIMD:-}" ]]; then
+  if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    SLJ_BENCH_SIMD=AVX2
+  else
+    SLJ_BENCH_SIMD=AUTO
+  fi
+fi
+
+# Provenance for bench_common.hpp's host_json(); benches run fine without it.
+SLJ_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+export SLJ_GIT_SHA
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DSLJ_SIMD="$SLJ_BENCH_SIMD"
 cmake --build "$BUILD_DIR" -j --target \
   perf_clip_engine perf_stream_engine perf_ingest perf_profiler
 
@@ -47,7 +65,7 @@ run_bench perf_profiler "$WORK/profiler.json"
 
 {
   echo '{'
-  echo '  "bench": "pr6-record-replay",'
+  echo '  "bench": "pr8-simd-banding",'
   echo '  "clip_engine":'
   sed 's/^/  /' "$WORK/clip.json" | sed '$ s/$/,/'
   echo '  "stream_engine":'

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay|--analyze]
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay|--analyze] [--simd-off]
 #   --sanitize     Debug build with ASan+UBSan (keeps the streaming/worker-pool
 #                  concurrency sanitizer-clean).
 #   --tsan         Debug build with ThreadSanitizer (pins that per-lane
@@ -18,6 +18,11 @@
 #                  profile over the exported compile database. Clang-only
 #                  steps are skipped with a note on clang-less hosts; the
 #                  portable steps still gate.
+#   --simd-off     Configure with -DSLJ_SIMD=OFF (the scalar reference
+#                  backend). Composes with any mode above: the SIMD and
+#                  scalar paths promise bit-identical output, so every lane
+#                  must hold on both. Without it, the build uses SLJ_SIMD's
+#                  AUTO default (whatever the compiler already targets).
 #   --replay       ASan+UBSan build with the profiler compiled in; runs the
 #                  replay/profiler/format-fuzz suites, then replays every
 #                  checked-in golden trace through `sljtool replay` at
@@ -29,6 +34,7 @@ cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="build"
 CMAKE_ARGS=()
 MODE="full"
+SIMD_OFF=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
@@ -61,6 +67,10 @@ for arg in "$@"; do
     --analyze)
       MODE="analyze"
       ;;
+    --simd-off)
+      CMAKE_ARGS+=(-DSLJ_SIMD=OFF)
+      SIMD_OFF=1
+      ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -71,6 +81,9 @@ if [[ "$MODE" == "analyze" ]]; then
   #    analyzed rather than compiled away.
   ANALYZE_ARGS=(-DCMAKE_BUILD_TYPE=Release -DSLJ_WERROR=ON
                 -DSLJ_BUILD_BENCHES=OFF -DSLJ_BUILD_EXAMPLES=OFF)
+  if [[ "$SIMD_OFF" == 1 ]]; then
+    ANALYZE_ARGS+=(-DSLJ_SIMD=OFF)
+  fi
   if command -v clang++ >/dev/null 2>&1; then
     ANALYZE_ARGS+=(-DCMAKE_CXX_COMPILER=clang++)
     echo "analyze: using clang++ (thread-safety analysis active)"

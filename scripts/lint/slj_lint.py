@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """slj_lint: repo-specific invariant linter for the slj codebase.
 
-Enforces three invariants the compiler cannot see:
+Enforces four invariants the compiler cannot see:
 
   hot-path-alloc   Functions marked SLJ_HOT_PATH (the steady-state per-frame
                    kernels: *_into, tick_into, process_into) must not allocate.
@@ -27,6 +27,14 @@ Enforces three invariants the compiler cannot see:
                    src/ outside core/annotations.hpp. All locking goes
                    through slj::Mutex / slj::LockGuard / slj::CondVar so
                    Clang thread-safety analysis sees every acquisition.
+
+  simd-dispatch    SIMD feature macros (__SSE*, __AVX*, __ARM_NEON*,
+                   SLJ_SIMD_*) are banned in src/ outside core/simd.hpp —
+                   backend selection happens exactly once, in the Active
+                   alias; kernels are templated on the backend tag. Also
+                   bans #if / #ifdef / #ifndef inside SLJ_HOT_PATH bodies:
+                   a hot kernel must be one preprocessor-free code path,
+                   not an #ifdef ladder that rots on untested backends.
 
 Engines:
   lexical (default)  Pure Python, token-level; runs anywhere.
@@ -54,7 +62,7 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-RULES = ("hot-path-alloc", "unchecked-read", "naked-mutex")
+RULES = ("hot-path-alloc", "unchecked-read", "naked-mutex", "simd-dispatch")
 
 HOT_PATH_MARKER = "SLJ_HOT_PATH"
 
@@ -98,6 +106,13 @@ NAKED_MUTEX_RE = re.compile(
 )
 
 SIZING_CALL_RE = re.compile(r"\.\s*(resize|reserve|assign)\s*\(")
+
+# SIMD feature-test / backend-selection macros; only core/simd.hpp may
+# mention them (including in #if conditions).
+SIMD_MACRO_RE = re.compile(r"\b(?:__SSE\w*|__AVX\w*|__ARM_NEON\w*|SLJ_SIMD_\w+)\b")
+
+# Preprocessor conditionals (banned inside SLJ_HOT_PATH bodies).
+PP_COND_RE = re.compile(r"^[ \t]*#[ \t]*if(?:n?def)?\b", re.MULTILINE)
 
 REF_PARAM_RE = re.compile(r"&\s*(?:__restrict__\s+)?([A-Za-z_]\w*)\s*(?:,|\)|=|$)")
 REF_ALIAS_RE = re.compile(
@@ -263,8 +278,13 @@ def chain_root(chain: str) -> str:
     return re.split(r"\s*(?:\.|->)\s*", chain.strip())[0]
 
 
-def check_hot_path_lexical(path: Path, raw: str, stripped: str) -> list[Finding]:
-    findings: list[Finding] = []
+def hot_path_bodies(stripped: str) -> list[tuple[str, int, str]]:
+    """(params, body_offset, body_text) for each SLJ_HOT_PATH *definition*.
+
+    body_offset is the offset of the opening brace in `stripped`;
+    declarations without a body are skipped (checked in their defining TU).
+    """
+    out: list[tuple[str, int, str]] = []
     for m in re.finditer(rf"\b{HOT_PATH_MARKER}\b", stripped):
         sig_start = m.end()
         open_paren = stripped.find("(", sig_start)
@@ -279,14 +299,19 @@ def check_hot_path_lexical(path: Path, raw: str, stripped: str) -> list[Finding]
         while j < len(stripped) and stripped[j] not in "{;":
             j += 1
         if j >= len(stripped) or stripped[j] == ";":
-            continue  # declaration only; the definition is checked in its TU
+            continue
         body_end = match_paren(stripped, j, "{", "}")
         if body_end < 0:
             continue
-        params = stripped[open_paren + 1 : after_params - 1]
+        out.append((stripped[open_paren + 1 : after_params - 1], j, stripped[j:body_end]))
+    return out
+
+
+def check_hot_path_lexical(path: Path, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for params, j, body in hot_path_bodies(stripped):
         roots = {name for name in REF_PARAM_RE.findall(params)}
         roots.add("this")
-        body = stripped[j:body_end]
         body_line0 = line_of(stripped, j)
         roots.update(REF_ALIAS_RE.findall(body))
         scannable = strip_throw_statements(body)
@@ -367,6 +392,39 @@ def check_naked_mutex(path: Path, rel: str, raw: str, stripped: str) -> list[Fin
                 f"analysis sees the acquisition",
             )
         )
+    return findings
+
+
+def check_simd_dispatch(path: Path, rel: str, raw: str, stripped: str) -> list[Finding]:
+    findings: list[Finding] = []
+    # Backend selection happens exactly once: feature macros stay inside
+    # core/simd.hpp; every other file dispatches through the Active tag.
+    if rel != "src/core/simd.hpp":
+        for m in SIMD_MACRO_RE.finditer(stripped):
+            ln = line_of(stripped, m.start())
+            findings.append(
+                Finding(
+                    path, ln, "simd-dispatch",
+                    f"SIMD feature macro `{m.group(0)}` outside core/simd.hpp; "
+                    f"template on a backend tag and dispatch through "
+                    f"slj::simd::Active instead",
+                )
+            )
+    # A hot kernel is one preprocessor-free code path: per-ISA #ifdef
+    # ladders silently rot on whichever backend CI does not build.
+    if HOT_PATH_MARKER in stripped:
+        for _, j, body in hot_path_bodies(stripped):
+            body_line0 = line_of(stripped, j)
+            for pm in PP_COND_RE.finditer(body):
+                ln = body_line0 + body.count("\n", 0, pm.start())
+                findings.append(
+                    Finding(
+                        path, ln, "simd-dispatch",
+                        f"preprocessor conditional inside a {HOT_PATH_MARKER} body; "
+                        f"hot kernels must be one code path (move the choice to "
+                        f"core/simd.hpp or a template parameter)",
+                    )
+                )
     return findings
 
 
@@ -476,6 +534,8 @@ def lint_file(path: Path, root: Path, rules: set[str], engine: str) -> list[Find
         findings += check_unchecked_read(path, rel, raw, stripped)
     if "naked-mutex" in rules:
         findings += check_naked_mutex(path, rel, raw, stripped)
+    if "simd-dispatch" in rules:
+        findings += check_simd_dispatch(path, rel, raw, stripped)
     return [
         f for f in findings
         if f.rule not in allowed.get(f.line, ()) and "all" not in allowed.get(f.line, ())

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "core/profiler.hpp"
+#include "core/simd.hpp"
 #include "imaging/morphology.hpp"
 #include "skelgraph/simplify.hpp"
 #include "thinning/zhang_suen.hpp"
@@ -44,19 +45,20 @@ FrameObservation FramePipeline::process(const RgbImage& frame, detect::BlobTrack
 }
 
 SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
-                                 FrameObservation& out) const {
+                                 FrameObservation& out, BandExecutor* exec) const {
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
-    extractor_.extract_into(frame, ws, out.silhouette);
+    extractor_.extract_into(frame, ws, out.silhouette, exec);
   }
   finish_observation(ws, out);
 }
 
 SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
-                                 FrameWorkspace& ws, FrameObservation& out) const {
+                                 FrameWorkspace& ws, FrameObservation& out,
+                                 BandExecutor* exec) const {
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
-    extractor_.extract_into(frame, ws, out.silhouette);
+    extractor_.extract_into(frame, ws, out.silhouette, exec);
     // The extractor is done with ws.labeling/pixel_stack; the tracker's
     // component pass reuses them instead of allocating its own Labeling.
     const detect::TrackResult track = tracker.update(ws.smoothed, ws.labeling, ws.pixel_stack);
@@ -88,11 +90,11 @@ void FramePipeline::finish_graph_stages(FrameObservation& obs, FrameWorkspace* w
   SLJ_PROFILE_SCOPE(ProfileStage::kFeatures);
   obs.candidates = pose::enumerate_candidates(obs.graph, encoder_, params_.candidates);
   obs.bottom_row = -1;
-  const int w = obs.silhouette.width();
+  const std::size_t w = static_cast<std::size_t>(obs.silhouette.width());
   const std::uint8_t* data = obs.silhouette.data().data();
   for (int y = obs.silhouette.height() - 1; y >= 0; --y) {
     const std::uint8_t* row = data + static_cast<std::size_t>(y) * w;
-    if (std::any_of(row, row + w, [](std::uint8_t v) { return v != 0; })) {
+    if (simd::find_nonzero<simd::Active>(row, w) != w) {
       obs.bottom_row = y;
       break;
     }

@@ -1,0 +1,71 @@
+// Row-banded intra-frame parallelism: the imaging kernels partition a frame
+// into horizontal bands and hand each band to a BandExecutor, so one large
+// frame can saturate a worker pool. The interface lives in the imaging layer
+// (a leaf) so kernels can take a `BandExecutor*` without depending on the
+// core worker pool; core/clip_engine.hpp provides the pool-backed
+// implementation (PoolBandExecutor).
+//
+// Contract, shared by every implementation:
+//   * The band partition is the deterministic `band_begin` split below —
+//     band b of B over R rows covers [band_begin(R,B,b), band_begin(R,B,b+1)).
+//     Kernels size halo/carry scratch from it, so executors must not invent
+//     their own split.
+//   * run_rows() blocks until every band callback has returned (it is a
+//     barrier). Callbacks for different bands may run concurrently; a kernel
+//     that needs cross-band state (SAT carries, a global max) splits into
+//     multiple run_rows() phases with serial stitching between them.
+//   * Banding changes scheduling only, never values: every kernel that
+//     accepts an executor is bit-identical at any band count, pinned by the
+//     parallel_rows determinism suite.
+//
+// The callback is a raw function pointer + context, not a std::function:
+// run_rows is called from SLJ_HOT_PATH kernels every frame and must not
+// allocate.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace slj {
+
+/// First row of band `b` when `rows` rows are split into `bands` bands.
+/// Monotone, exact, and spread within one row of even: the canonical
+/// partition every banded kernel and every executor must agree on.
+inline int band_begin(int rows, int bands, int b) {
+  return static_cast<int>((static_cast<std::int64_t>(rows) * b) / bands);
+}
+
+class BandExecutor {
+ public:
+  using RowFn = void (*)(void* ctx, int band, int row_begin, int row_end);
+
+  virtual ~BandExecutor() = default;
+
+  /// Number of bands this executor splits a frame into (>= 1).
+  virtual int bands() const = 0;
+
+  /// Runs fn(ctx, b, band_begin(rows, bands(), b), band_begin(rows,
+  /// bands(), b+1)) for every band b, possibly concurrently; returns after
+  /// all bands complete. Bands whose row range is empty are still invoked
+  /// (with row_begin == row_end) so per-band scratch stays index-aligned.
+  virtual void run_rows(int rows, void* ctx, RowFn fn) = 0;
+};
+
+/// Runs `fn(band, row_begin, row_end)` over the frame's rows: serially when
+/// `exec` is null or single-banded (zero overhead — the hot serial path),
+/// banded through the executor otherwise. `fn` must be safe to run
+/// concurrently for disjoint bands.
+template <typename Fn>
+inline void run_banded(BandExecutor* exec, int rows, Fn&& fn) {
+  const int bands = exec != nullptr ? exec->bands() : 1;
+  if (bands <= 1 || rows < 2) {
+    fn(0, 0, rows);
+    return;
+  }
+  Fn& ref = fn;
+  exec->run_rows(rows, &ref, [](void* ctx, int band, int row_begin, int row_end) {
+    (*static_cast<Fn*>(ctx))(band, row_begin, row_end);
+  });
+}
+
+}  // namespace slj

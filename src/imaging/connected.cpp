@@ -1,7 +1,11 @@
 #include "imaging/connected.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <span>
+
+#include "core/simd.hpp"
 
 namespace slj {
 
@@ -22,9 +26,18 @@ SLJ_HOT_PATH void label_components_into(const BinaryImage& img, bool eight_conne
   const std::span<const PointI> nbrs =
       eight_connected ? std::span<const PointI>(kNeighbours8) : std::span<const PointI>(kNeighbours4);
   int next_label = 0;
+  const std::uint8_t* src = img.data().data();
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (!img.at(x, y) || out.labels.at(x, y) != 0) continue;
+    // Seed scan: silhouette rows are overwhelmingly background, so skip the
+    // zero spans a vector block at a time.
+    const std::uint8_t* row = src + static_cast<std::size_t>(y) * static_cast<std::size_t>(w);
+    for (std::size_t xi = 0; xi < static_cast<std::size_t>(w); ++xi) {
+      const std::size_t skip =
+          simd::find_nonzero<simd::Active>(row + xi, static_cast<std::size_t>(w) - xi);
+      xi += skip;
+      if (xi >= static_cast<std::size_t>(w)) break;
+      const int x = static_cast<int>(xi);
+      if (out.labels.at(x, y) != 0) continue;
       ++next_label;
       ComponentStats stats;
       stats.label = next_label;
@@ -75,9 +88,8 @@ SLJ_HOT_PATH void largest_component_into(const BinaryImage& img, bool eight_conn
   const auto largest = std::max_element(
       labeling.components.begin(), labeling.components.end(),
       [](const ComponentStats& a, const ComponentStats& b) { return a.area < b.area; });
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = labeling.labels.data()[i] == largest->label ? 1 : 0;
-  }
+  simd::store_equal01_i32<simd::Active>(labeling.labels.data().data(), largest->label,
+                                        out.data().data(), out.size());
 }
 
 std::size_t component_count(const BinaryImage& img, bool eight_connected) {

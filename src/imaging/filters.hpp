@@ -9,6 +9,9 @@
 
 namespace slj {
 
+class BandExecutor;  // imaging/band_executor.hpp
+struct BandScratch;  // imaging/frame_workspace.hpp
+
 /// Median filter over a k×k window (k odd). Border pixels use the clamped
 /// window. Works on full 8-bit grayscale range.
 GrayImage median_filter(const GrayImage& img, int k);
@@ -21,9 +24,12 @@ BinaryImage median_filter_binary(const BinaryImage& img, int k);
 /// Allocation-free variant: the mask's summed-area table is built in
 /// `integral` and the result written to `out`, both reusing their storage.
 /// Output is bit-identical to median_filter_binary. `out` must not alias
-/// `img`.
+/// `img`. When `exec` is a multi-band BandExecutor and `scratch` is given,
+/// the table build and the filter pass run row-banded (still bit-identical
+/// at any band count).
 SLJ_HOT_PATH void median_filter_binary_into(const BinaryImage& img, int k, IntegralImage& integral,
-                               BinaryImage& out);
+                               BinaryImage& out, BandExecutor* exec = nullptr,
+                               BandScratch* scratch = nullptr);
 
 /// Box blur (mean filter) over a k×k window, rounding to nearest.
 GrayImage box_blur(const GrayImage& img, int k);

@@ -18,11 +18,23 @@
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "imaging/band_executor.hpp"
 #include "imaging/connected.hpp"
 #include "imaging/image.hpp"
 #include "imaging/integral.hpp"
 
 namespace slj {
+
+/// Scratch for the row-banded kernels: per-band row staging for the SAT
+/// builders, per-band carry rows, and per-band reduction slots. Sized by the
+/// kernels on each call (steady state: no reallocation); bands never share
+/// a slice, so the buffers are safe under concurrent band execution.
+struct BandScratch {
+  std::vector<std::int32_t> stage;    ///< int32 row prefix sums, per band
+  std::vector<double> carry;          ///< SAT carry rows, per channel per band
+  std::vector<double> band_max;       ///< per-band max(D) reduction slots
+  std::vector<std::uint16_t> colsum;  ///< sliding column counts, per band
+};
 
 struct FrameWorkspace {
   // --- windowed-mean scratch (paper Sec. 2 step ii) ---
@@ -56,18 +68,29 @@ struct FrameWorkspace {
   std::vector<std::uint32_t> thin_eval;       ///< candidates being consumed
   std::vector<std::uint32_t> thin_deletions;  ///< simultaneous-deletion list
   std::vector<std::uint8_t> thin_marks;       ///< bit0/bit1: queued per type
+
+  // --- row-banded kernel scratch (band_executor.hpp) ---
+  BandScratch band_scratch;
 };
 
 /// Allocation-free variant of window_mean_rgb: builds the per-channel
 /// summed-area tables in ws.integral_{r,g,b} and the mean planes in ws.aave,
 /// reusing their storage. Values are bit-identical to window_mean_rgb.
-SLJ_HOT_PATH void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws);
+SLJ_HOT_PATH void window_mean_rgb_into(const RgbImage& img, int n, FrameWorkspace& ws,
+                                       BandExecutor* exec = nullptr);
 
 /// Builds the three per-channel summed-area tables of `img` into
 /// ws.integral_{r,g,b} in one fused pass over the frame (one read per pixel
-/// instead of three). Same per-channel recurrence as IntegralImage::assign,
-/// so every table entry is bit-identical.
-void build_rgb_integrals(const RgbImage& img, FrameWorkspace& ws);
+/// instead of three), vectorized on the configured slj::simd backend and —
+/// when `exec` is banded — split into per-band local tables stitched with
+/// carry rows. Same per-channel recurrence as IntegralImage::assign, so
+/// every table entry is bit-identical at any backend and any band count.
+void build_rgb_integrals(const RgbImage& img, FrameWorkspace& ws, BandExecutor* exec = nullptr);
+
+/// Serial scalar-backend twin of build_rgb_integrals, always compiled: the
+/// reference the SIMD-vs-scalar property suite compares against (and the
+/// whole story when the build sets SLJ_SIMD=OFF).
+void build_rgb_integrals_scalar(const RgbImage& img, FrameWorkspace& ws);
 
 /// Window sum for a window known to lie fully inside the image: the four
 /// clamp-free table loads of IntegralImage::sum in the same order, so the

@@ -3,7 +3,10 @@
 // matrix Bave over a moving window of n×n").
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -27,9 +30,9 @@ class IntegralImage {
   /// bit-identical to a freshly built table.
   template <typename Fn>
   void assign(int width, int height, Fn&& value_at) {
+    table_.assign(checked_table_size(width, height), 0.0);
     width_ = width;
     height_ = height;
-    table_.assign((width + 1) * static_cast<std::size_t>(height + 1), 0.0);
     for (int y = 0; y < height; ++y) {
       double row_sum = 0.0;
       for (int x = 0; x < width; ++x) {
@@ -50,9 +53,20 @@ class IntegralImage {
   /// assign() (the FrameWorkspace fused RGB builder). Row y of the source
   /// lands at raw()[(y+1) * stride() + x + 1].
   double* raw_prepare(int width, int height) {
+    table_.assign(checked_table_size(width, height), 0.0);
     width_ = width;
     height_ = height;
-    table_.assign((width + 1) * static_cast<std::size_t>(height + 1), 0.0);
+    return table_.data();
+  }
+
+  /// Like raw_prepare, but leaves every entry unspecified instead of zeroing
+  /// the table. For builders that overwrite the entire table themselves
+  /// (row 0, column 0 included) — skipping the full-table clear is a
+  /// measurable win at frame rate.
+  double* raw_prepare_discard(int width, int height) {
+    table_.resize(checked_table_size(width, height));
+    width_ = width;
+    height_ = height;
     return table_.data();
   }
 
@@ -67,9 +81,28 @@ class IntegralImage {
   double window_mean(int x, int y, int n) const;
 
  private:
-  double& tab(int x, int y) { return table_[static_cast<std::size_t>(y) * (width_ + 1) + x]; }
+  /// Size of the (width+1) × (height+1) table, computed in size_t with the
+  /// dimensions validated and the product overflow-guarded. Callers can hand
+  /// this class any decoded dimensions; it defends itself.
+  static std::size_t checked_table_size(int width, int height) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("IntegralImage dimensions must be non-negative");
+    }
+    const std::size_t tw = static_cast<std::size_t>(width) + 1;
+    const std::size_t th = static_cast<std::size_t>(height) + 1;
+    if (tw > std::numeric_limits<std::size_t>::max() / th) {
+      throw std::length_error("IntegralImage dimensions overflow size_t");
+    }
+    return tw * th;
+  }
+
+  double& tab(int x, int y) {
+    return table_[static_cast<std::size_t>(y) * (static_cast<std::size_t>(width_) + 1) +
+                  static_cast<std::size_t>(x)];
+  }
   const double& tab(int x, int y) const {
-    return table_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+    return table_[static_cast<std::size_t>(y) * (static_cast<std::size_t>(width_) + 1) +
+                  static_cast<std::size_t>(x)];
   }
 
   int width_ = 0;

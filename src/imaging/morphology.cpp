@@ -1,9 +1,12 @@
 #include "imaging/morphology.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <span>
 #include <vector>
+
+#include "core/simd.hpp"
 
 namespace slj {
 namespace {
@@ -99,26 +102,39 @@ SLJ_HOT_PATH void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
     // Any nonzero source byte closes the cell, so the row copies verbatim.
     std::memcpy(row + 2, src + static_cast<std::size_t>(py - 2) * w, static_cast<std::size_t>(w));
   }
-  // Seed: the open border ring (row 1, row ph-2, columns 1 and pw-2).
+  // Scanline flood from a single seed on the open border ring (the ring is
+  // 4-connected, so one seed reaches all of it). Each popped seed closes its
+  // whole horizontal run, then pushes one representative per open run in the
+  // rows above and below — each cell is visited O(1) times instead of once
+  // per neighbour. The reached set is the seed's connected component either
+  // way, so the filled result is identical to the per-pixel flood.
   stack.clear();
-  for (int x = 1; x < pw - 1; ++x) {
-    stack.push_back(static_cast<std::uint32_t>(pw + x));
-    stack.push_back(static_cast<std::uint32_t>((ph - 2) * pw + x));
-  }
-  for (int y = 2; y < ph - 2; ++y) {
-    stack.push_back(static_cast<std::uint32_t>(y * pw + 1));
-    stack.push_back(static_cast<std::uint32_t>(y * pw + pw - 2));
-  }
-  for (const std::uint32_t idx : stack) closed[idx] = 1;
+  const std::uint32_t seed = static_cast<std::uint32_t>(pw) + 1u;
+  closed[seed] = 1;
+  stack.push_back(seed);
   while (!stack.empty()) {
     const std::uint32_t idx = stack.back();
     stack.pop_back();
-    const std::uint32_t nbrs[4] = {idx - 1, idx + 1, idx - static_cast<std::uint32_t>(pw),
-                                   idx + static_cast<std::uint32_t>(pw)};
-    for (const std::uint32_t nidx : nbrs) {
-      if (!closed[nidx]) {
-        closed[nidx] = 1;
-        stack.push_back(nidx);
+    // Expand the run; the sentinel columns (always closed) stop the walks.
+    std::uint32_t l = idx;
+    while (!closed[l - 1]) closed[--l] = 1;
+    std::uint32_t r = idx;
+    while (!closed[r + 1]) closed[++r] = 1;
+    // Seed the adjacent rows: one push per maximal open run inside the
+    // window. The sentinel rows (always closed) make the offsets safe.
+    for (const std::int64_t dir : {-static_cast<std::int64_t>(pw), static_cast<std::int64_t>(pw)}) {
+      std::uint32_t j = static_cast<std::uint32_t>(static_cast<std::int64_t>(l) + dir);
+      const std::uint32_t j_end = static_cast<std::uint32_t>(static_cast<std::int64_t>(r) + dir);
+      while (j <= j_end) {
+        if (closed[j]) {
+          ++j;
+          continue;
+        }
+        closed[j] = 1;
+        stack.push_back(j);
+        ++j;
+        // Skip the rest of this run; the pushed seed closes it when popped.
+        while (j <= j_end && !closed[j]) ++j;
       }
     }
   }
@@ -127,9 +143,8 @@ SLJ_HOT_PATH void fill_holes_into(const BinaryImage& img, BinaryImage& reached,
   for (int y = 0; y < h; ++y) {
     const std::uint8_t* src_row = src + static_cast<std::size_t>(y) * w;
     const std::uint8_t* closed_row = closed + static_cast<std::size_t>(y + 2) * pw + 2;
-    for (int x = 0; x < w; ++x) {
-      *dst++ = (src_row[x] || !closed_row[x]) ? 1 : 0;
-    }
+    simd::store_fill01_u8<simd::Active>(src_row, closed_row, dst + static_cast<std::size_t>(y) * w,
+                                        static_cast<std::size_t>(w));
   }
 }
 

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "core/simd.hpp"
+
 namespace slj::ingest {
 
 // ---- LatencyHistogram ------------------------------------------------------
@@ -161,6 +163,10 @@ std::string IngestMetricsSnapshot::to_json() const {
     out += buf;
   }
   out += sessions.empty() ? "],\n" : "\n  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"simd\": {\"backend\": \"%s\", \"f64_lanes\": %d, \"u8_lanes\": %d},\n",
+                simd::backend_name(), simd::f64_lanes(), simd::u8_lanes());
+  out += buf;
   out += "  \"profiler\": ";
   out += profiler.to_json();
   out += "\n}";

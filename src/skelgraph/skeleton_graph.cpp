@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/simd.hpp"
 #include "imaging/connected.hpp"
 #include "imaging/frame_workspace.hpp"
 
@@ -187,9 +190,14 @@ SkeletonGraph build_graph_impl(const BinaryImage& skeleton, BuildStats* stats,
   std::size_t skeleton_pixels = 0;
   std::size_t junction_pixels = 0;
   std::size_t pixel_edges2 = 0;  // 2x the number of pixel-graph edges
+  const std::uint8_t* skel = skeleton.data().data();
+  const std::size_t wn = static_cast<std::size_t>(w);
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (!skeleton.at(x, y)) continue;
+    const std::uint8_t* row = skel + static_cast<std::size_t>(y) * wn;
+    for (std::size_t xi = 0; xi < wn; ++xi) {
+      xi += simd::find_nonzero<simd::Active>(row + xi, wn - xi);
+      if (xi >= wn) break;
+      const int x = static_cast<int>(xi);
       ++skeleton_pixels;
       const int d = pixel_degree(skeleton, x, y);
       pixel_edges2 += static_cast<std::size_t>(d);
@@ -229,8 +237,12 @@ SkeletonGraph build_graph_impl(const BinaryImage& skeleton, BuildStats* stats,
 
   // End and isolated pixels become their own nodes.
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (!skeleton.at(x, y) || is_junction.at(x, y)) continue;
+    const std::uint8_t* row = skel + static_cast<std::size_t>(y) * wn;
+    for (std::size_t xi = 0; xi < wn; ++xi) {
+      xi += simd::find_nonzero<simd::Active>(row + xi, wn - xi);
+      if (xi >= wn) break;
+      const int x = static_cast<int>(xi);
+      if (is_junction.at(x, y)) continue;
       const int d = pixel_degree(skeleton, x, y);
       if (d == 1 || d == 0) {
         Node node;
@@ -313,8 +325,12 @@ SkeletonGraph build_graph_impl(const BinaryImage& skeleton, BuildStats* stats,
     for (const PointI& p : n.cluster) visited.at(p) = 1;
   }
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (!skeleton.at(x, y) || visited.at(x, y)) continue;
+    const std::uint8_t* row = skel + static_cast<std::size_t>(y) * wn;
+    for (std::size_t xi = 0; xi < wn; ++xi) {
+      xi += simd::find_nonzero<simd::Active>(row + xi, wn - xi);
+      if (xi >= wn) break;
+      const int x = static_cast<int>(xi);
+      if (visited.at(x, y)) continue;
       Node seat;
       seat.pos = {x, y};
       seat.type = NodeType::kLoopSeat;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
+
+#include "core/simd.hpp"
 
 namespace slj::thin {
 namespace {
@@ -135,24 +138,19 @@ SLJ_HOT_PATH void zhang_suen_thin_into(const BinaryImage& img, FrameWorkspace& w
   };
 
   // Full-image sub-iteration (first pass only). Background runs — most of a
-  // silhouette frame — are skipped eight pixels at a time via word loads;
-  // skipped pixels are all zero, which can never be deletable.
+  // silhouette frame — are skipped a vector block at a time; skipped pixels
+  // are all zero, which can never be deletable.
   const auto full_sub = [&](bool first) {
     deletions.clear();
     for (int y = 0; y < h; ++y) {
       const std::size_t row = static_cast<std::size_t>(y) * w;
-      int x = 0;
-      while (x < w) {
-        if (w - x >= 8) {
-          std::uint64_t word;
-          std::memcpy(&word, data + row + x, sizeof word);
-          if (word == 0) {
-            x += 8;
-            continue;
-          }
-        }
+      std::size_t x = 0;
+      const std::size_t wn = static_cast<std::size_t>(w);
+      while (x < wn) {
+        x += simd::find_nonzero<simd::Active>(data + row + x, wn - x);
+        if (x >= wn) break;
         const std::size_t idx = row + x;
-        if (data[idx] && deletable(out, x, y, first)) {
+        if (deletable(out, static_cast<int>(x), y, first)) {
           deletions.push_back(static_cast<std::uint32_t>(idx));
         }
         ++x;

@@ -1,0 +1,22 @@
+// Lint fixture: the per-ISA #ifdef ladder the simd-dispatch rule exists to
+// keep out of the tree. The feature macro leaks outside core/simd.hpp AND
+// the hot kernel body forks on the preprocessor — the exact shape that rots
+// silently on whichever backend CI does not build. slj_lint MUST reject
+// this file on both counts.
+#include <cstddef>
+#include <cstdint>
+
+#include "core/annotations.hpp"
+
+SLJ_HOT_PATH void threshold_into(const double* src, std::uint8_t* dst, std::size_t n,
+                                 double threshold) {
+#ifdef __AVX2__
+  // "Fast path" that only ever compiles on one CI leg.
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] >= threshold ? 1 : 0;
+#else
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] >= threshold ? 1 : 0;
+#endif
+#if defined(__SSE2__) && !defined(SLJ_SIMD_FORCE_SCALAR)
+  (void)n;
+#endif
+}

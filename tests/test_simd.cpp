@@ -1,0 +1,494 @@
+// SIMD-vs-scalar property suite + row-banding determinism (PR 8 tentpole).
+//
+// The simd.hpp contract is bit-identity on the kernels' integer domain:
+// every primitive instantiated with the configured backend (simd::Active)
+// must produce exactly the bytes the always-compiled ScalarBackend twin
+// produces — across odd widths, vector-width tails, unaligned bases, and
+// degenerate all-0 / all-255 planes. On an SLJ_SIMD=OFF build Active *is*
+// ScalarBackend and the primitive checks pin trivially; the banding suite
+// below is backend-independent and bites on every build.
+//
+// The banding half pins the other determinism axis: a kernel handed a
+// BandExecutor must produce bit-identical output at any band count, whether
+// the bands run serially (SerialBandExecutor) or on a real WorkerPool
+// (PoolBandExecutor), including band counts that do not divide the height
+// and band counts exceeding the worker count.
+#include "core/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/clip_engine.hpp"
+#include "imaging/band_executor.hpp"
+#include "imaging/filters.hpp"
+#include "imaging/frame_workspace.hpp"
+#include "imaging/morphology.hpp"
+#include "segmentation/object_extractor.hpp"
+#include "synth/dataset.hpp"
+
+namespace slj {
+namespace {
+
+using simd::Active;
+using simd::ScalarBackend;
+using VA = simd::VecF64<Active>;
+using VS = simd::VecF64<ScalarBackend>;
+
+// Widths straddling every lane boundary of every backend (1/2/4 f64 lanes,
+// 8/16/32 u8 lanes), plus odd primes and a plain round number.
+const std::vector<std::size_t> kWidths = {1,  2,  3,  5,  7,  8,  15, 16,
+                                          17, 31, 32, 33, 63, 64, 65, 100};
+
+/// Integer-exact doubles: the domain the bit-identity contract covers.
+std::vector<double> random_int_doubles(std::uint32_t seed, std::size_t n, int lo, int hi) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  std::vector<double> out(n);
+  for (double& x : out) x = static_cast<double>(dist(rng));
+  return out;
+}
+
+std::vector<std::uint8_t> random_bytes(std::uint32_t seed, std::size_t n, int hi) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, hi);
+  std::vector<std::uint8_t> out(n);
+  for (std::uint8_t& x : out) x = static_cast<std::uint8_t>(dist(rng));
+  return out;
+}
+
+/// BandExecutor that runs bands serially in order: isolates the banded
+/// *partition* (carry stitching, per-band scratch) from concurrency.
+class SerialBandExecutor final : public BandExecutor {
+ public:
+  explicit SerialBandExecutor(int bands) : bands_(bands) {}
+  int bands() const override { return bands_; }
+  void run_rows(int rows, void* ctx, RowFn fn) override {
+    for (int b = 0; b < bands_; ++b) {
+      fn(ctx, b, band_begin(rows, bands_, b), band_begin(rows, bands_, b + 1));
+    }
+  }
+
+ private:
+  int bands_;
+};
+
+// ---- VecF64 primitives ------------------------------------------------------
+
+TEST(SimdVecF64, LaneArithmeticMatchesScalar) {
+  const std::size_t n = 64;
+  const std::vector<double> a = random_int_doubles(1, n, -1000, 1000);
+  const std::vector<double> b = random_int_doubles(2, n, 1, 1000);  // no /0
+  std::vector<double> got(VA::kLanes), want(VA::kLanes);
+  for (std::size_t i = 0; i + VA::kLanes <= n; i += VA::kLanes) {
+    const VA va = VA::load(a.data() + i);
+    const VA vb = VA::load(b.data() + i);
+    for (int op = 0; op < 6; ++op) {
+      VA r = va;
+      switch (op) {
+        case 0: r = va + vb; break;
+        case 1: r = va - vb; break;
+        case 2: r = va * vb; break;
+        case 3: r = va / vb; break;
+        case 4: r = VA::max(va, vb); break;
+        case 5: r = VA::min(va, vb); break;
+      }
+      r.store(got.data());
+      for (int l = 0; l < VA::kLanes; ++l) {
+        const double x = a[i + l], y = b[i + l];
+        switch (op) {
+          case 0: want[l] = x + y; break;
+          case 1: want[l] = x - y; break;
+          case 2: want[l] = x * y; break;
+          case 3: want[l] = x / y; break;
+          case 4: want[l] = x > y ? x : y; break;
+          case 5: want[l] = x < y ? x : y; break;
+        }
+      }
+      for (int l = 0; l < VA::kLanes; ++l) {
+        EXPECT_EQ(got[l], want[l]) << "op " << op << " i " << i << " lane " << l;
+      }
+    }
+    VA r = va.abs();
+    r.store(got.data());
+    for (int l = 0; l < VA::kLanes; ++l) {
+      EXPECT_EQ(got[l], std::fabs(a[i + l])) << "abs i " << i << " lane " << l;
+    }
+  }
+}
+
+TEST(SimdVecF64, LoadI32IsExactConversion) {
+  std::vector<std::int32_t> src = {0, 1, -1, 127, -128, 65535, -2147483647, 2147483647};
+  src.resize(static_cast<std::size_t>(VA::kLanes) * 4, 42);
+  std::vector<double> got(VA::kLanes);
+  for (std::size_t i = 0; i + VA::kLanes <= src.size(); i += VA::kLanes) {
+    VA::load_i32(src.data() + i).store(got.data());
+    for (int l = 0; l < VA::kLanes; ++l) {
+      EXPECT_EQ(got[l], static_cast<double>(src[i + l])) << "i " << i << " lane " << l;
+    }
+  }
+}
+
+TEST(SimdVecF64, InclusiveScanWithCarryMatchesRunningSum) {
+  for (const std::size_t n : kWidths) {
+    const std::vector<double> src = random_int_doubles(static_cast<std::uint32_t>(n), n, 0, 255);
+    // Scalar reference: the plain running sum.
+    std::vector<double> want(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) want[i] = sum += src[i];
+    // Vector path: block scan + broadcast_last carry, scalar tail — the
+    // exact shape the SAT row kernels use.
+    std::vector<double> got(n);
+    VA carry = VA::broadcast(0.0);
+    std::size_t i = 0;
+    for (; i + VA::kLanes <= n; i += VA::kLanes) {
+      const VA scanned = VA::load(src.data() + i).inclusive_scan() + carry;
+      scanned.store(got.data() + i);
+      carry = scanned.broadcast_last();
+    }
+    double tail_carry[VA::kLanes];
+    carry.store(tail_carry);
+    double run = tail_carry[0];
+    for (; i < n; ++i) got[i] = run += src[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(got[j], want[j]) << "n " << n << " j " << j;
+    }
+  }
+}
+
+TEST(SimdVecF64, ReduceMaxMatchesMaxElement) {
+  const std::vector<double> src = random_int_doubles(9, 64, -500, 500);
+  for (std::size_t i = 0; i + VA::kLanes <= src.size(); i += VA::kLanes) {
+    const double got = VA::load(src.data() + i).reduce_max();
+    const double want =
+        *std::max_element(src.begin() + static_cast<std::ptrdiff_t>(i),
+                          src.begin() + static_cast<std::ptrdiff_t>(i + VA::kLanes));
+    EXPECT_EQ(got, want) << "i " << i;
+  }
+}
+
+TEST(SimdVecF64, StoreGe01MatchesScalarIncludingTies) {
+  const std::size_t n = 96;
+  std::vector<double> a = random_int_doubles(3, n, 0, 4);
+  const std::vector<double> b = random_int_doubles(4, n, 0, 4);
+  // Plant exact ties: >= on equal values must agree across backends.
+  for (std::size_t i = 0; i < n; i += 3) a[i] = b[i];
+  std::vector<std::uint8_t> got(n, 0xee), want(n, 0xee);
+  for (std::size_t i = 0; i + VA::kLanes <= n; i += VA::kLanes) {
+    VA::store_ge01(VA::load(a.data() + i), VA::load(b.data() + i), got.data() + i);
+  }
+  for (std::size_t i = 0; i + VA::kLanes <= n; i += VA::kLanes) {
+    for (int l = 0; l < VA::kLanes; ++l) {
+      VS::store_ge01(VS::load(a.data() + i + l), VS::load(b.data() + i + l), want.data() + i + l);
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+// ---- byte-plane primitives --------------------------------------------------
+
+TEST(SimdBytePlane, FindNonzeroMatchesScalarAcrossWidthsAndOffsets) {
+  for (const std::size_t n : kWidths) {
+    // Sparse plane with slack so unaligned bases stay in bounds.
+    std::vector<std::uint8_t> plane(n + 7, 0);
+    std::mt19937 rng(static_cast<std::uint32_t>(n) * 31u);
+    for (std::size_t hits = 0; hits < std::max<std::size_t>(1, n / 8); ++hits) {
+      plane[rng() % plane.size()] = static_cast<std::uint8_t>(1 + rng() % 255);
+    }
+    for (std::size_t off = 0; off < 7; ++off) {
+      const std::uint8_t* p = plane.data() + off;
+      EXPECT_EQ(simd::find_nonzero<Active>(p, n), simd::find_nonzero<ScalarBackend>(p, n))
+          << "n " << n << " off " << off;
+    }
+    // All-zero and first/last-only: the boundary answers.
+    std::vector<std::uint8_t> zeros(n, 0);
+    EXPECT_EQ(simd::find_nonzero<Active>(zeros.data(), n), n) << "n " << n;
+    zeros[n - 1] = 255;
+    EXPECT_EQ(simd::find_nonzero<Active>(zeros.data(), n), n - 1) << "n " << n;
+    zeros.assign(n, 0);
+    zeros[0] = 1;
+    EXPECT_EQ(simd::find_nonzero<Active>(zeros.data(), n), 0u) << "n " << n;
+  }
+}
+
+TEST(SimdBytePlane, StoreEqual01MatchesScalar) {
+  for (const std::size_t n : kWidths) {
+    std::mt19937 rng(static_cast<std::uint32_t>(n) + 77u);
+    std::vector<int> labels(n);
+    for (int& l : labels) l = static_cast<int>(rng() % 5);
+    for (const int needle : {0, 1, 3, 7}) {
+      std::vector<std::uint8_t> got(n, 0xee), want(n, 0xee);
+      simd::store_equal01_i32<Active>(labels.data(), needle, got.data(), n);
+      simd::store_equal01_i32<ScalarBackend>(labels.data(), needle, want.data(), n);
+      EXPECT_EQ(got, want) << "n " << n << " needle " << needle;
+    }
+  }
+}
+
+TEST(SimdBytePlane, StoreFill01MatchesScalarIncludingSaturatedPlanes) {
+  for (const std::size_t n : kWidths) {
+    const std::vector<std::uint8_t> rand_src = random_bytes(static_cast<std::uint32_t>(n), n, 2);
+    const std::vector<std::uint8_t> rand_closed =
+        random_bytes(static_cast<std::uint32_t>(n) + 1, n, 1);
+    const std::vector<std::uint8_t> zeros(n, 0);
+    const std::vector<std::uint8_t> full(n, 255);
+    const std::vector<std::uint8_t>* cases[][2] = {
+        {&rand_src, &rand_closed}, {&zeros, &zeros}, {&full, &full},
+        {&zeros, &full},           {&full, &zeros},
+    };
+    for (const auto& c : cases) {
+      std::vector<std::uint8_t> got(n, 0xee), want(n, 0xee);
+      simd::store_fill01_u8<Active>(c[0]->data(), c[1]->data(), got.data(), n);
+      simd::store_fill01_u8<ScalarBackend>(c[0]->data(), c[1]->data(), want.data(), n);
+      EXPECT_EQ(got, want) << "n " << n;
+    }
+  }
+}
+
+// ---- kernel-level SIMD parity -----------------------------------------------
+
+RgbImage random_rgb(std::uint32_t seed, int w, int h) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 255);
+  RgbImage img(w, h);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = {static_cast<std::uint8_t>(dist(rng)), static_cast<std::uint8_t>(dist(rng)),
+                     static_cast<std::uint8_t>(dist(rng))};
+  }
+  return img;
+}
+
+void expect_tables_identical(const FrameWorkspace& got, const FrameWorkspace& want, int w, int h) {
+  const std::size_t n = (static_cast<std::size_t>(w) + 1) * (static_cast<std::size_t>(h) + 1);
+  const IntegralImage* gs[] = {&got.integral_r, &got.integral_g, &got.integral_b};
+  const IntegralImage* ws[] = {&want.integral_r, &want.integral_g, &want.integral_b};
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_TRUE(std::equal(gs[c]->raw(), gs[c]->raw() + n, ws[c]->raw())) << "channel " << c;
+  }
+}
+
+TEST(SimdKernelParity, FusedIntegralBuildMatchesScalarTwin) {
+  // Odd widths and heights: every tail path of the row kernels.
+  const std::pair<int, int> sizes[] = {{1, 1}, {3, 2}, {7, 5}, {17, 9}, {64, 48}, {65, 47}};
+  FrameWorkspace simd_ws, scalar_ws;
+  for (const auto& [w, h] : sizes) {
+    const RgbImage img = random_rgb(static_cast<std::uint32_t>(w * 100 + h), w, h);
+    build_rgb_integrals(img, simd_ws);
+    build_rgb_integrals_scalar(img, scalar_ws);
+    expect_tables_identical(simd_ws, scalar_ws, w, h);
+  }
+}
+
+TEST(SimdKernelParity, BandedIntegralBuildMatchesScalarTwinAtEveryBandCount) {
+  const int w = 33, h = 29;
+  const RgbImage img = random_rgb(7, w, h);
+  FrameWorkspace scalar_ws;
+  build_rgb_integrals_scalar(img, scalar_ws);
+  FrameWorkspace banded_ws;
+  for (const int bands : {1, 2, 3, 4, 7}) {
+    SerialBandExecutor exec(bands);
+    build_rgb_integrals(img, banded_ws, &exec);
+    expect_tables_identical(banded_ws, scalar_ws, w, h);
+  }
+}
+
+TEST(SimdKernelParity, MedianFilterMatchesReferenceOnSaturatedAndOddSizes) {
+  FrameWorkspace ws;
+  BinaryImage out;
+  const std::pair<int, int> sizes[] = {{5, 5}, {17, 11}, {33, 31}, {64, 50}};
+  for (const auto& [w, h] : sizes) {
+    std::mt19937 rng(static_cast<std::uint32_t>(w + h));
+    for (int variant = 0; variant < 3; ++variant) {
+      BinaryImage mask(w, h, variant == 1 ? 1 : 0);
+      if (variant == 2) {
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+          mask.data()[i] = static_cast<std::uint8_t>(rng() % 2);
+        }
+      }
+      for (const int k : {1, 3, 5}) {
+        median_filter_binary_into(mask, k, ws.mask_integral, out);
+        EXPECT_EQ(out, median_filter_binary(mask, k))
+            << w << "x" << h << " variant " << variant << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelParity, HoleFillAndLargestComponentMatchReferenceOnSaturatedPlanes) {
+  FrameWorkspace ws;
+  BinaryImage filled, largest;
+  for (const auto& [w, h] : {std::pair<int, int>{1, 1}, {9, 7}, {33, 20}, {64, 33}}) {
+    std::mt19937 rng(static_cast<std::uint32_t>(w * 7 + h));
+    for (int variant = 0; variant < 3; ++variant) {
+      BinaryImage mask(w, h, variant == 1 ? 1 : 0);
+      if (variant == 2) {
+        for (std::size_t i = 0; i < mask.size(); ++i) {
+          mask.data()[i] = static_cast<std::uint8_t>(rng() % 2);
+        }
+      }
+      fill_holes_into(mask, ws.reached, ws.flood_stack, filled);
+      EXPECT_EQ(filled, fill_holes(mask)) << w << "x" << h << " variant " << variant;
+      largest_component_into(mask, true, ws.labeling, ws.pixel_stack, largest);
+      EXPECT_EQ(largest, largest_component(mask, true)) << w << "x" << h << " variant " << variant;
+    }
+  }
+}
+
+TEST(SimdKernelParity, ExtractIntoMatchesExtractOnOddFrameSizes) {
+  // extract() is the untouched scalar reference; extract_into runs the SIMD
+  // kernels. Odd sizes force every vector tail in the fused passes.
+  for (const auto& [w, h] : {std::pair<int, int>{31, 17}, {65, 33}, {64, 47}}) {
+    const RgbImage background = random_rgb(static_cast<std::uint32_t>(w), w, h);
+    RgbImage frame = background;
+    // Perturb a patch so the mask is non-trivial.
+    for (int y = h / 4; y < h / 2; ++y) {
+      for (int x = w / 4; x < w / 2; ++x) {
+        frame.at(x, y) = {255, 255, 255};
+      }
+    }
+    seg::ObjectExtractor extractor;
+    extractor.set_background(background);
+    FrameWorkspace ws;
+    BinaryImage silhouette;
+    const seg::ExtractionResult want = extractor.extract(frame);
+    const double max_d = extractor.extract_into(frame, ws, silhouette);
+    EXPECT_EQ(silhouette, want.silhouette) << w << "x" << h;
+    EXPECT_EQ(ws.raw_mask, want.raw_mask) << w << "x" << h;
+    EXPECT_EQ(ws.difference, want.difference) << w << "x" << h;
+    EXPECT_DOUBLE_EQ(max_d, want.max_difference) << w << "x" << h;
+  }
+}
+
+// ---- banding determinism ----------------------------------------------------
+
+TEST(BandingDeterminism, ExtractIntoIsBitIdenticalAtEveryBandCount) {
+  synth::ClipSpec spec;
+  spec.seed = 11;
+  spec.frame_count = 4;
+  const synth::Clip clip = synth::generate_clip(spec);
+  seg::ObjectExtractor extractor;
+  extractor.set_background(clip.background);
+
+  FrameWorkspace ref_ws;
+  BinaryImage ref_sil;
+  FrameWorkspace band_ws;
+  BinaryImage band_sil;
+  for (std::size_t f = 0; f < clip.frames.size(); ++f) {
+    const double ref_max = extractor.extract_into(clip.frames[f], ref_ws, ref_sil);
+    // Band counts that do not divide the frame height, exceed any worker
+    // count, and the degenerate single band.
+    for (const int bands : {1, 2, 3, 4, 5, 8}) {
+      SerialBandExecutor exec(bands);
+      const double got_max = extractor.extract_into(clip.frames[f], band_ws, band_sil, &exec);
+      EXPECT_EQ(band_sil, ref_sil) << "frame " << f << " bands " << bands;
+      EXPECT_EQ(band_ws.raw_mask, ref_ws.raw_mask) << "frame " << f << " bands " << bands;
+      EXPECT_EQ(band_ws.smoothed, ref_ws.smoothed) << "frame " << f << " bands " << bands;
+      EXPECT_EQ(band_ws.difference, ref_ws.difference) << "frame " << f << " bands " << bands;
+      EXPECT_EQ(got_max, ref_max) << "frame " << f << " bands " << bands;
+    }
+  }
+}
+
+TEST(BandingDeterminism, PoolExecutorMatchesSerialExecutor) {
+  synth::ClipSpec spec;
+  spec.seed = 23;
+  spec.frame_count = 3;
+  const synth::Clip clip = synth::generate_clip(spec);
+  seg::ObjectExtractor extractor;
+  extractor.set_background(clip.background);
+
+  FrameWorkspace ref_ws;
+  BinaryImage ref_sil;
+  FrameWorkspace pool_ws;
+  BinaryImage pool_sil;
+  core::WorkerPool pool(3);  // bands deliberately != worker count below
+  for (std::size_t f = 0; f < clip.frames.size(); ++f) {
+    extractor.extract_into(clip.frames[f], ref_ws, ref_sil);
+    for (const int bands : {2, 4, 5}) {
+      core::PoolBandExecutor exec(pool, bands);
+      extractor.extract_into(clip.frames[f], pool_ws, pool_sil, &exec);
+      EXPECT_EQ(pool_sil, ref_sil) << "frame " << f << " bands " << bands;
+      EXPECT_EQ(pool_ws.smoothed, ref_ws.smoothed) << "frame " << f << " bands " << bands;
+    }
+  }
+}
+
+TEST(BandingDeterminism, ClipEngineBandedConfigMatchesUnbanded) {
+  synth::ClipSpec spec;
+  spec.seed = 5;
+  spec.frame_count = 6;
+  const synth::Clip clip = synth::generate_clip(spec);
+
+  core::ClipEngineConfig base;
+  base.workers = 2;
+  core::ClipEngine reference({}, base);
+  const core::ClipObservation want = reference.process(clip);
+
+  for (const int bands : {2, 4}) {
+    core::ClipEngineConfig banded = base;
+    banded.intra_frame_bands = bands;
+    core::ClipEngine engine({}, banded);
+    const core::ClipObservation got = engine.process(clip);
+    ASSERT_EQ(got.frame_count(), want.frame_count()) << "bands " << bands;
+    EXPECT_EQ(got.airborne, want.airborne) << "bands " << bands;
+    EXPECT_EQ(got.ground_row, want.ground_row) << "bands " << bands;
+    for (std::size_t f = 0; f < got.frames.size(); ++f) {
+      EXPECT_EQ(got.frames[f].silhouette, want.frames[f].silhouette)
+          << "bands " << bands << " frame " << f;
+      EXPECT_EQ(got.frames[f].raw_skeleton, want.frames[f].raw_skeleton)
+          << "bands " << bands << " frame " << f;
+      EXPECT_EQ(got.frames[f].bottom_row, want.frames[f].bottom_row)
+          << "bands " << bands << " frame " << f;
+    }
+  }
+}
+
+TEST(BandingDeterminism, TrackedBandedEngineMatchesUnbanded) {
+  synth::ClipSpec spec;
+  spec.seed = 40;
+  spec.frame_count = 5;
+  const synth::Clip clip = synth::generate_clip(spec);
+
+  core::ClipEngineConfig base;
+  base.workers = 2;
+  base.use_tracker = true;
+  core::ClipEngine reference({}, base);
+  const core::ClipObservation want = reference.process(clip);
+
+  core::ClipEngineConfig banded = base;
+  banded.intra_frame_bands = 3;
+  core::ClipEngine engine({}, banded);
+  const core::ClipObservation got = engine.process(clip);
+  ASSERT_EQ(got.frame_count(), want.frame_count());
+  EXPECT_EQ(got.airborne, want.airborne);
+  for (std::size_t f = 0; f < got.frames.size(); ++f) {
+    EXPECT_EQ(got.frames[f].silhouette, want.frames[f].silhouette) << "frame " << f;
+    EXPECT_EQ(got.frames[f].bottom_row, want.frames[f].bottom_row) << "frame " << f;
+  }
+}
+
+TEST(BandingDeterminism, BandedMedianFilterMatchesSerial) {
+  FrameWorkspace serial_ws;
+  FrameWorkspace band_ws;
+  BinaryImage serial_out, band_out;
+  for (const auto& [w, h] : {std::pair<int, int>{17, 11}, {64, 48}, {65, 1}}) {
+    std::mt19937 rng(static_cast<std::uint32_t>(w + 3 * h));
+    BinaryImage mask(w, h, 0);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask.data()[i] = static_cast<std::uint8_t>(rng() % 2);
+    }
+    median_filter_binary_into(mask, 5, serial_ws.mask_integral, serial_out);
+    for (const int bands : {2, 3, 4}) {
+      SerialBandExecutor exec(bands);
+      median_filter_binary_into(mask, 5, band_ws.mask_integral, band_out, &exec,
+                                &band_ws.band_scratch);
+      EXPECT_EQ(band_out, serial_out) << w << "x" << h << " bands " << bands;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slj

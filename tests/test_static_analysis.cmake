@@ -94,6 +94,15 @@ configure_file("${FIXTURES}/unchecked_read_bad.cpp"
 check_fail("lint rejects unchecked_read_bad" "unchecked-read"
   "${SLJ_PYTHON}" "${LINT}" --root "${SCRATCH}/unchecked" -q)
 
+# --- 4b. slj_lint rejects SIMD macro leakage / #ifdef'd hot kernels ---------
+set(simd_bad_expect "simd-dispatch" "__AVX2__" "preprocessor conditional")
+check_fail("lint rejects hot_path_simd_bad" "${simd_bad_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/hot_path_simd_bad.cpp")
+
+# --- 4c. slj_lint passes backend-tag dispatch through simd::Active ----------
+check_pass("lint passes hot_path_simd_ok"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/hot_path_simd_ok.cpp")
+
 # --- 5. slj_lint passes the real tree ---------------------------------------
 check_pass("lint passes src/"
   "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q)
@@ -110,6 +119,16 @@ check_pass("guarded_ok compiles (${SLJ_CXX})"
 check_pass("hot_path_bad compiles (${SLJ_CXX})"
   "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
   "${FIXTURES}/hot_path_bad.cpp")
+
+# Same layering check for the SIMD fixtures: both are valid C++ (the bad one
+# is only wrong by the linter's rules), and the good one exercises the real
+# core/simd.hpp dispatch header.
+check_pass("hot_path_simd_bad compiles (${SLJ_CXX})"
+  "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+  "${FIXTURES}/hot_path_simd_bad.cpp")
+check_pass("hot_path_simd_ok compiles (${SLJ_CXX})"
+  "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+  "${FIXTURES}/hot_path_simd_ok.cpp")
 
 # --- 7. clang rejects the unlocked guarded access ---------------------------
 execute_process(COMMAND "${SLJ_CXX}" --version OUTPUT_VARIABLE cxx_version
