@@ -11,13 +11,22 @@
 #                  IngestService under concurrent producers.
 #   --analyze      Static-analysis lane: library build with the warning
 #                  baseline promoted to errors (-Wall -Wextra -Wshadow
-#                  -Wconversion -Werror), the slj_lint invariant linter, the
-#                  negative-compile suite (tests/test_static_analysis.cmake),
-#                  and — when clang/clang-tidy are on PATH — Clang
-#                  thread-safety analysis plus the curated .clang-tidy
-#                  profile over the exported compile database. Clang-only
+#                  -Wconversion -Werror), the slj_lint invariant linter
+#                  (AST engine in --strict-engine mode on clang hosts,
+#                  lexical with a note elsewhere) with the suppression
+#                  ratchet, the negative-compile suite
+#                  (tests/test_static_analysis.cmake), and — when
+#                  clang/clang-tidy are on PATH — Clang thread-safety
+#                  analysis, the clang-static-analyzer baseline diff
+#                  (scripts/lint/run_clang_analyzer.py), and the curated
+#                  .clang-tidy profile restricted to files changed vs
+#                  $SLJ_TIDY_BASE (default origin/main; full tree with
+#                  --analyze-full). Findings land in
+#                  <build-dir>/analyze_artifacts/ for upload. Clang-only
 #                  steps are skipped with a note on clang-less hosts; the
 #                  portable steps still gate.
+#   --analyze-full clang-tidy over the whole tree instead of the changed
+#                  set (the scheduled-job configuration).
 #   --simd-off     Configure with -DSLJ_SIMD=OFF (the scalar reference
 #                  backend). Composes with any mode above: the SIMD and
 #                  scalar paths promise bit-identical output, so every lane
@@ -35,6 +44,7 @@ BUILD_DIR="build"
 CMAKE_ARGS=()
 MODE="full"
 SIMD_OFF=0
+TIDY_FULL=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize)
@@ -67,6 +77,10 @@ for arg in "$@"; do
     --analyze)
       MODE="analyze"
       ;;
+    --analyze-full)
+      MODE="analyze"
+      TIDY_FULL=1
+      ;;
     --simd-off)
       CMAKE_ARGS+=(-DSLJ_SIMD=OFF)
       SIMD_OFF=1
@@ -94,21 +108,71 @@ if [[ "$MODE" == "analyze" ]]; then
   cmake -B "$BUILD_DIR" -S . "${ANALYZE_ARGS[@]}"
   cmake --build "$BUILD_DIR" -j --target slj
 
-  # 2. Repo-specific invariant linter (pure Python: runs everywhere).
-  python3 scripts/lint/slj_lint.py --root .
+  ARTIFACTS="$BUILD_DIR/analyze_artifacts"
+  mkdir -p "$ARTIFACTS"
+
+  # 2. Repo-specific invariant linter. On clang hosts the AST engine is
+  #    mandatory (--strict-engine exits 2 on any lexical fallback, so a
+  #    degraded run can never pass silently); elsewhere the lexical engine
+  #    is the honest configuration and is named out loud. Both runs carry
+  #    the suppression ratchet.
+  LINT_ARGS=(--root . --compdb "$BUILD_DIR/compile_commands.json"
+             --suppression-baseline scripts/lint/suppressions_baseline.txt)
+  if command -v clang++ >/dev/null 2>&1; then
+    python3 scripts/lint/slj_lint.py "${LINT_ARGS[@]}" \
+      --engine ast --strict-engine 2>&1 | tee "$ARTIFACTS/slj_lint.txt"
+  else
+    echo "analyze: clang++ not found; slj_lint runs the lexical engine" \
+         "(the AST overlay needs clang++ -ast-dump)"
+    python3 scripts/lint/slj_lint.py "${LINT_ARGS[@]}" \
+      --engine lexical 2>&1 | tee "$ARTIFACTS/slj_lint.txt"
+  fi
 
   # 3. Negative-compile + linter-fixture suite: proves the gates actually
   #    reject violations, not just that clean code passes.
   cmake -DSLJ_BUILD_DIR="$BUILD_DIR" -P tests/test_static_analysis.cmake
 
-  # 4. clang-tidy over the library sources, when available.
+  # 4. clang-static-analyzer over the compile database, failing only on
+  #    findings absent from scripts/lint/analyzer_baseline.txt.
+  if command -v clang++ >/dev/null 2>&1; then
+    python3 scripts/lint/run_clang_analyzer.py --root . \
+      --compdb "$BUILD_DIR/compile_commands.json" \
+      --raw-out "$ARTIFACTS/clang_analyzer.txt"
+  else
+    echo "analyze: clang++ not found; skipping the clang-static-analyzer lane"
+  fi
+
+  # 5. clang-tidy, when available. PR runs cover only files changed vs the
+  #    merge base ($SLJ_TIDY_BASE, default origin/main) so turnaround stays
+  #    proportional to the diff; the scheduled job passes --analyze-full to
+  #    sweep the whole tree.
   if command -v clang-tidy >/dev/null 2>&1; then
-    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
-    clang-tidy -p "$BUILD_DIR" --quiet "${tidy_sources[@]}"
+    if [[ "$TIDY_FULL" == 1 ]]; then
+      mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+      echo "analyze: clang-tidy over the full tree (${#tidy_sources[@]} files)"
+    else
+      TIDY_BASE="${SLJ_TIDY_BASE:-origin/main}"
+      if git rev-parse --verify --quiet "$TIDY_BASE" >/dev/null; then
+        mapfile -t tidy_sources < <(
+          git diff --name-only --diff-filter=d "$(git merge-base "$TIDY_BASE" HEAD)" \
+            -- 'src/*.cpp' | sort)
+        echo "analyze: clang-tidy over ${#tidy_sources[@]} file(s) changed" \
+             "vs $TIDY_BASE (--analyze-full for the whole tree)"
+      else
+        echo "analyze: base ref $TIDY_BASE not found; clang-tidy over the full tree"
+        mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+      fi
+    fi
+    if [[ ${#tidy_sources[@]} -gt 0 ]]; then
+      clang-tidy -p "$BUILD_DIR" --quiet "${tidy_sources[@]}" \
+        2>&1 | tee "$ARTIFACTS/clang_tidy.txt"
+    else
+      echo "analyze: no changed src/*.cpp files; clang-tidy skipped"
+    fi
   else
     echo "analyze: clang-tidy not found; skipping the .clang-tidy profile"
   fi
-  echo "analyze: all gates passed"
+  echo "analyze: all gates passed (findings in $ARTIFACTS/)"
   exit 0
 fi
 

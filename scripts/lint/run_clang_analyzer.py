@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Clang static-analyzer lane with a checked-in suppression baseline.
+
+Runs `clang++ --analyze` over every translation unit in the compile database
+and diffs the normalized findings against scripts/lint/analyzer_baseline.txt.
+Only NEW findings fail the lane, so it is adoptable on a tree with historical
+findings and ratchets forever: fixing a finding shrinks the baseline on the
+next `--update-baseline`, introducing one fails CI.
+
+Baseline line format (one finding per line, sorted, stable across line-number
+churn within a function):
+
+    <repo-relative file>|<checker>|<message>
+
+Exit codes: 0 clean (or only baselined findings), 1 new findings,
+2 environment problems (no clang++, no compile database).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+# -analyzer-output text prints findings on stderr as:
+#   /abs/path/file.cpp:123:45: warning: Message text [checker.package.Name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+): warning: "
+    r"(?P<message>.*?) \[(?P<checker>[\w.\-]+)\]$",
+    re.MULTILINE,
+)
+
+# Driver flags that conflict with --analyze or waste time under it.
+DROP_FLAGS = {"-c", "-MMD", "-MD", "-MP"}
+DROP_WITH_ARG = {"-o", "-MF", "-MT", "-MQ"}
+
+
+def load_compdb(path: Path) -> list[dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"run_clang_analyzer: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def analyze_args(entry: dict) -> list[str]:
+    """Compile flags for one entry with output/dep-gen flags stripped."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])[1:]
+    else:
+        # Shallow shlex: the build tree has no quoted paths.
+        argv = entry.get("command", "").split()[1:]
+    out: list[str] = []
+    skip = False
+    for a in argv:
+        if skip:
+            skip = False
+            continue
+        if a in DROP_WITH_ARG:
+            skip = True
+            continue
+        if a in DROP_FLAGS:
+            continue
+        out.append(a)
+    return out
+
+
+def normalize(root: Path, file: str, checker: str, message: str) -> str:
+    try:
+        rel = str(Path(file).resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = file
+    rel = rel.replace(os.sep, "/")
+    return f"{rel}|{checker}|{message}"
+
+
+def run_analyzer(clang: str, root: Path, entries: list[dict],
+                 verbose: bool) -> tuple[set[str], list[str]]:
+    """All normalized findings plus the raw diagnostic lines for artifacts."""
+    findings: set[str] = set()
+    raw: list[str] = []
+    for entry in entries:
+        src = entry["file"]
+        cmd = [clang, "--analyze", "-analyzer-output", "text",
+               *analyze_args(entry)]
+        if src not in cmd:
+            cmd.append(src)
+        proc = subprocess.run(
+            cmd, cwd=entry.get("directory", str(root)),
+            capture_output=True, text=True, timeout=600,
+        )
+        text = proc.stdout + proc.stderr
+        for m in DIAG_RE.finditer(text):
+            findings.add(normalize(root, m.group("file"), m.group("checker"),
+                                   m.group("message")))
+            raw.append(m.group(0))
+        if verbose and proc.returncode not in (0, 1):
+            print(f"run_clang_analyzer: {src}: clang exited "
+                  f"{proc.returncode}", file=sys.stderr)
+    return findings, raw
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    lines = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            lines.add(line)
+    return lines
+
+
+BASELINE_HEADER = """\
+# clang-static-analyzer suppression baseline — known findings that predate
+# the lane. scripts/ci.sh --analyze fails only on findings NOT in this file,
+# so new code is held to zero while the backlog shrinks independently.
+# One `file|checker|message` per line. Regenerate (after review!) with:
+#   python3 scripts/lint/run_clang_analyzer.py --root . --update-baseline
+"""
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path("."),
+                    help="repository root (default: .)")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json (default: ROOT/build/)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline file (default: scripts/lint/analyzer_baseline.txt)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current findings and exit 0")
+    ap.add_argument("--raw-out", type=Path, default=None,
+                    help="also write the raw diagnostic lines to FILE (CI artifact)")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    clang = shutil.which("clang++") or shutil.which("clang")
+    if clang is None:
+        print("run_clang_analyzer: clang++ not on PATH", file=sys.stderr)
+        return 2
+    compdb_path = args.compdb or (args.root / "build" / "compile_commands.json")
+    if not compdb_path.is_file():
+        print(f"run_clang_analyzer: no compile database at {compdb_path}; "
+              f"configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first",
+              file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or (
+        args.root / "scripts" / "lint" / "analyzer_baseline.txt")
+
+    entries = [e for e in load_compdb(compdb_path)
+               if "/src/" in e["file"].replace(os.sep, "/")]
+    findings, raw = run_analyzer(clang, args.root, entries, args.verbose)
+    print(f"run_clang_analyzer: analyzed {len(entries)} TU(s), "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+
+    if args.raw_out is not None:
+        args.raw_out.parent.mkdir(parents=True, exist_ok=True)
+        args.raw_out.write_text("\n".join(raw) + ("\n" if raw else ""))
+
+    if args.update_baseline:
+        baseline_path.write_text(
+            BASELINE_HEADER + "".join(f"{f}\n" for f in sorted(findings)))
+        print(f"run_clang_analyzer: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=sys.stderr)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    if fixed:
+        print(f"run_clang_analyzer: {len(fixed)} baselined finding(s) no "
+              f"longer fire — shrink the baseline with --update-baseline",
+              file=sys.stderr)
+    if new:
+        print(f"run_clang_analyzer: {len(new)} NEW finding(s) not in "
+              f"{baseline_path}:", file=sys.stderr)
+        for f in new:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::run_tasks(RawTask task, void* ctx, std::size_t count, std::size_t lane) {
   for (;;) {
+    // slj-atomic: counter — ticket dispenser; each lane claims a unique index
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) return;
     try {
@@ -71,7 +72,7 @@ void WorkerPool::dispatch(std::size_t count, void* ctx, RawTask task) {
     task_ = task;
     task_ctx_ = ctx;
     count_ = count;
-    next_.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);  // slj-atomic: counter
     error_ = nullptr;
     active_ = threads_.size();
     ++generation_;

@@ -43,10 +43,12 @@ Profiler& Profiler::instance() {
 
 void Profiler::record(ProfileStage stage, std::uint64_t elapsed_ns) {
   StageCounters& c = stages_[static_cast<std::size_t>(stage)];
-  c.calls.fetch_add(1, std::memory_order_relaxed);
-  c.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  c.calls.fetch_add(1, std::memory_order_relaxed);            // slj-atomic: counter
+  c.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);  // slj-atomic: counter
+  // slj-atomic: counter — monotonic-max CAS; a raced retry republishes the winner
   std::uint64_t seen = c.max_ns.load(std::memory_order_relaxed);
   while (elapsed_ns > seen &&
+         // slj-atomic: counter
          !c.max_ns.compare_exchange_weak(seen, elapsed_ns, std::memory_order_relaxed)) {
   }
 }
@@ -58,10 +60,11 @@ ProfilerSnapshot Profiler::snapshot() const {
 
   std::array<std::uint64_t, kProfileStageCount> total_ns{};
   for (std::size_t i = 0; i < kProfileStageCount; ++i) {
-    total_ns[i] = stages_[i].total_ns.load(std::memory_order_relaxed);
+    total_ns[i] = stages_[i].total_ns.load(std::memory_order_relaxed);  // slj-atomic: snapshot
   }
   for (std::size_t i = 0; i < kProfileStageCount; ++i) {
-    const std::uint64_t calls = stages_[i].calls.load(std::memory_order_relaxed);
+    const std::uint64_t calls =
+        stages_[i].calls.load(std::memory_order_relaxed);  // slj-atomic: snapshot
     if (calls == 0) continue;
     const ProfileStage stage = static_cast<ProfileStage>(i);
     const ProfileStage parent = profile_stage_parent(stage);
@@ -71,8 +74,9 @@ ProfilerSnapshot Profiler::snapshot() const {
     row.calls = calls;
     row.total_ms = static_cast<double>(total_ns[i]) / 1e6;
     row.avg_us = static_cast<double>(total_ns[i]) / static_cast<double>(calls) / 1e3;
-    row.max_us =
-        static_cast<double>(stages_[i].max_ns.load(std::memory_order_relaxed)) / 1e3;
+    row.max_us = static_cast<double>(stages_[i].max_ns.load(
+                     std::memory_order_relaxed)) /  // slj-atomic: snapshot
+                 1e3;
     const std::uint64_t parent_ns = total_ns[static_cast<std::size_t>(parent)];
     if (parent == stage) {
       row.share_of_parent = 1.0;
@@ -86,9 +90,9 @@ ProfilerSnapshot Profiler::snapshot() const {
 
 void Profiler::reset() {
   for (StageCounters& c : stages_) {
-    c.calls.store(0, std::memory_order_relaxed);
-    c.total_ns.store(0, std::memory_order_relaxed);
-    c.max_ns.store(0, std::memory_order_relaxed);
+    c.calls.store(0, std::memory_order_relaxed);     // slj-atomic: counter
+    c.total_ns.store(0, std::memory_order_relaxed);  // slj-atomic: counter
+    c.max_ns.store(0, std::memory_order_relaxed);    // slj-atomic: counter
   }
 }
 

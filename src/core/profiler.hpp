@@ -95,8 +95,10 @@ class Profiler {
 #endif
   }
 
-  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);  // slj-atomic: flag
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }  // slj-atomic: flag
 
   /// Adds one sample to a stage (worker lanes call this concurrently).
   void record(ProfileStage stage, std::uint64_t elapsed_ns);

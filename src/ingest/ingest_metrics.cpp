@@ -32,10 +32,12 @@ double bucket_upper_us(std::size_t b) {
 
 void LatencyHistogram::record(std::chrono::nanoseconds latency) {
   if (latency.count() < 0) latency = std::chrono::nanoseconds::zero();
-  buckets_[bucket_of(latency)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_of(latency)].fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
+  count_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
   const std::uint64_t ns = static_cast<std::uint64_t>(latency.count());
+  // slj-atomic: counter — monotonic-max CAS; a raced retry republishes the winner
   std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  // slj-atomic: counter
   while (ns > seen && !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
   }
 }
@@ -44,7 +46,7 @@ double LatencyHistogram::quantile_ms(double q) const {
   std::array<std::uint64_t, kBuckets> counts;
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);  // slj-atomic: snapshot
     total += counts[i];
   }
   if (total == 0) return 0.0;
@@ -71,48 +73,50 @@ double LatencyHistogram::quantile_ms(double q) const {
 void IngestMetrics::on_push(PushOutcome outcome) {
   switch (outcome) {
     case PushOutcome::kAccepted:
-      pushed_.fetch_add(1, std::memory_order_relaxed);
+      pushed_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kReplacedOldest:
-      pushed_.fetch_add(1, std::memory_order_relaxed);
-      dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+      pushed_.fetch_add(1, std::memory_order_relaxed);          // slj-atomic: counter
+      dropped_oldest_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kRejected:
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kRateLimited:
-      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kClosed:
-      closed_pushes_.fetch_add(1, std::memory_order_relaxed);
+      closed_pushes_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
   }
 }
 
 void IngestMetrics::on_delivered(std::chrono::nanoseconds latency) {
-  delivered_.fetch_add(1, std::memory_order_relaxed);
+  delivered_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
   latency_.record(latency);
 }
 
 void IngestMetrics::note_depth(std::size_t depth) {
+  // slj-atomic: counter — monotonic-max CAS; a raced retry republishes the winner
   std::size_t seen = depth_peak_.load(std::memory_order_relaxed);
   while (depth > seen &&
+         // slj-atomic: counter
          !depth_peak_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
   }
 }
 
 IngestMetricsSnapshot IngestMetrics::snapshot_totals() const {
   IngestMetricsSnapshot snap;
-  snap.pushed = pushed_.load(std::memory_order_relaxed);
-  snap.delivered = delivered_.load(std::memory_order_relaxed);
-  snap.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);
-  snap.rejected = rejected_.load(std::memory_order_relaxed);
-  snap.rate_limited = rate_limited_.load(std::memory_order_relaxed);
-  snap.closed_pushes = closed_pushes_.load(std::memory_order_relaxed);
-  snap.discarded = discarded_.load(std::memory_order_relaxed);
-  snap.ticks = ticks_.load(std::memory_order_relaxed);
-  snap.evicted_sessions = evicted_.load(std::memory_order_relaxed);
-  snap.queue_depth_peak = depth_peak_.load(std::memory_order_relaxed);
+  snap.pushed = pushed_.load(std::memory_order_relaxed);                  // slj-atomic: snapshot
+  snap.delivered = delivered_.load(std::memory_order_relaxed);            // slj-atomic: snapshot
+  snap.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);  // slj-atomic: snapshot
+  snap.rejected = rejected_.load(std::memory_order_relaxed);              // slj-atomic: snapshot
+  snap.rate_limited = rate_limited_.load(std::memory_order_relaxed);      // slj-atomic: snapshot
+  snap.closed_pushes = closed_pushes_.load(std::memory_order_relaxed);    // slj-atomic: snapshot
+  snap.discarded = discarded_.load(std::memory_order_relaxed);            // slj-atomic: snapshot
+  snap.ticks = ticks_.load(std::memory_order_relaxed);                    // slj-atomic: snapshot
+  snap.evicted_sessions = evicted_.load(std::memory_order_relaxed);       // slj-atomic: snapshot
+  snap.queue_depth_peak = depth_peak_.load(std::memory_order_relaxed);    // slj-atomic: snapshot
   snap.latency_p50_ms = latency_.quantile_ms(0.50);
   snap.latency_p99_ms = latency_.quantile_ms(0.99);
   snap.latency_max_ms = latency_.max_ms();

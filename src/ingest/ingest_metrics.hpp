@@ -32,9 +32,13 @@ class LatencyHistogram {
   /// (0 when no samples were recorded).
   double quantile_ms(double q) const;
 
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);  // slj-atomic: snapshot
+  }
   double max_ms() const {
-    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+    return static_cast<double>(
+               max_ns_.load(std::memory_order_relaxed)) /  // slj-atomic: snapshot
+           1e6;
   }
 
  private:
@@ -96,10 +100,12 @@ class IngestMetrics {
   /// Records one delivered frame's end-to-end latency (scheduler thread).
   void on_delivered(std::chrono::nanoseconds latency);
 
-  void on_tick() { ticks_.fetch_add(1, std::memory_order_relaxed); }
-  void on_eviction() { evicted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_tick() { ticks_.fetch_add(1, std::memory_order_relaxed); }        // slj-atomic: counter
+  void on_eviction() { evicted_.fetch_add(1, std::memory_order_relaxed); }  // slj-atomic: counter
   /// Records frames a closing/evicted session dropped un-analysed.
-  void on_discarded(std::uint64_t n) { discarded_.fetch_add(n, std::memory_order_relaxed); }
+  void on_discarded(std::uint64_t n) {
+    discarded_.fetch_add(n, std::memory_order_relaxed);  // slj-atomic: counter
+  }
 
   /// Feeds the monotonic per-session queue-depth peak (the router samples
   /// one session's depth on every admission).

@@ -48,27 +48,28 @@ PushOutcome IngestRouter::push(int session, const RgbImage& frame, std::uint64_t
   const Clock::time_point now = clock_();
   // Any push attempt counts as producer activity: a camera that is being
   // rate-limited or shed is alive, only a silent one is idle.
-  state->last_activity.store(now.time_since_epoch().count(), std::memory_order_relaxed);
+  state->last_activity.store(now.time_since_epoch().count(),
+                             std::memory_order_relaxed);  // slj-atomic: snapshot
 
   const PushOutcome outcome = state->queue.push(frame, now, sequence);
   switch (outcome) {
     case PushOutcome::kAccepted:
-      state->pushed.fetch_add(1, std::memory_order_relaxed);
+      state->pushed.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       metrics_.note_depth(state->queue.depth());
       break;
     case PushOutcome::kReplacedOldest:
-      state->pushed.fetch_add(1, std::memory_order_relaxed);
-      state->dropped_oldest.fetch_add(1, std::memory_order_relaxed);
+      state->pushed.fetch_add(1, std::memory_order_relaxed);          // slj-atomic: counter
+      state->dropped_oldest.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       // A replace means the ring is at capacity — the deepest this session's
       // queue gets — so it must feed the peak gauge too, or a saturated
       // plane would freeze the peak at some warm-up value.
       metrics_.note_depth(state->queue.depth());
       break;
     case PushOutcome::kRejected:
-      state->rejected.fetch_add(1, std::memory_order_relaxed);
+      state->rejected.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kRateLimited:
-      state->rate_limited.fetch_add(1, std::memory_order_relaxed);
+      state->rate_limited.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
       break;
     case PushOutcome::kClosed:
       break;
@@ -112,8 +113,8 @@ void IngestRouter::collect_idle(std::vector<int>& out) {
     if (!s || s->config.idle_timeout <= Clock::duration::zero()) continue;
     if (s->queue.closed()) continue;      // sealed: an explicit close is in flight
     if (s->queue.depth() != 0) continue;  // pending frames: not idle, drain first
-    const Clock::time_point last{
-        Clock::duration{s->last_activity.load(std::memory_order_relaxed)}};
+    const Clock::time_point last{Clock::duration{
+        s->last_activity.load(std::memory_order_relaxed)}};  // slj-atomic: snapshot
     if (now - last > s->config.idle_timeout) out.push_back(s->id);
   }
 }
@@ -178,11 +179,11 @@ IngestMetricsSnapshot IngestRouter::snapshot() {
     SessionMetricsSnapshot row;
     row.session = s->id;
     row.policy = policy_name(s->config.queue.policy);
-    row.pushed = s->pushed.load(std::memory_order_relaxed);
-    row.delivered = s->delivered.load(std::memory_order_relaxed);
-    row.dropped_oldest = s->dropped_oldest.load(std::memory_order_relaxed);
-    row.rejected = s->rejected.load(std::memory_order_relaxed);
-    row.rate_limited = s->rate_limited.load(std::memory_order_relaxed);
+    row.pushed = s->pushed.load(std::memory_order_relaxed);                  // slj-atomic: snapshot
+    row.delivered = s->delivered.load(std::memory_order_relaxed);            // slj-atomic: snapshot
+    row.dropped_oldest = s->dropped_oldest.load(std::memory_order_relaxed);  // slj-atomic: snapshot
+    row.rejected = s->rejected.load(std::memory_order_relaxed);              // slj-atomic: snapshot
+    row.rate_limited = s->rate_limited.load(std::memory_order_relaxed);      // slj-atomic: snapshot
     row.queue_depth = s->queue.depth();
     const double seconds = std::chrono::duration<double>(now - s->opened_at).count();
     row.throughput_fps = seconds > 0.0 ? static_cast<double>(row.delivered) / seconds : 0.0;

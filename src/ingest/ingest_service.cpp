@@ -42,7 +42,7 @@ PushOutcome IngestService::push(int session, const RgbImage& frame) {
   // completed_ for evicting a frame flush() never counted, letting flush
   // return with that pusher's own frame still queued. Refused attempts are
   // immediately balanced with note_completed below.
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
   PushOutcome outcome;
   std::uint64_t sequence = 0;
   try {
@@ -151,7 +151,7 @@ void IngestService::deliver_locked(std::size_t count) {
     router_.metrics().on_delivered(
         std::chrono::duration_cast<std::chrono::nanoseconds>(latency));
     if (const auto state = router_.state_if_open(session)) {
-      state->delivered.fetch_add(1, std::memory_order_relaxed);
+      state->delivered.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
     }
     // Copy the sink out and invoke it unlocked (mirroring the eviction
     // path), so a slow sink never stalls concurrent open_session calls on
@@ -192,7 +192,7 @@ void IngestService::evict_idle_locked() {
 }
 
 void IngestService::note_completed(std::uint64_t n) {
-  completed_.fetch_add(n, std::memory_order_relaxed);
+  completed_.fetch_add(n, std::memory_order_relaxed);  // slj-atomic: counter
   // The mutex+notify is only a wakeup hint for flush(), which re-checks the
   // atomic on a 1 ms timeout anyway — skip the lock entirely unless someone
   // is actually flushing, keeping the producer shed path atomic-only.
@@ -205,15 +205,16 @@ void IngestService::note_completed(std::uint64_t n) {
 }
 
 void IngestService::flush() {
-  const std::uint64_t target = admitted_.load(std::memory_order_relaxed);
+  const std::uint64_t target = admitted_.load(std::memory_order_relaxed);  // slj-atomic: snapshot
   flush_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  // slj-atomic: snapshot — stale reads only delay the 1 ms re-poll below
   while (completed_.load(std::memory_order_relaxed) < target) {
     if (running()) {
       // Plain timed wait: the exit condition is the atomic re-checked by
       // the enclosing while, so a predicate here would be redundant (and
       // the 1 ms timeout already bounds a missed notify).
       slj::LockGuard lock(flush_mutex_);
-      if (completed_.load(std::memory_order_relaxed) >= target) break;
+      if (completed_.load(std::memory_order_relaxed) >= target) break;  // slj-atomic: snapshot
       flush_cv_.wait_for(lock, std::chrono::milliseconds(1));
     } else {
       // Scheduler stopped: run the passes inline on the calling thread.

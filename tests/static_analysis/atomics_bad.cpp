@@ -1,0 +1,29 @@
+// Lint fixture: every way the atomics-discipline rule fires. slj_lint MUST
+// report findings here — untagged relaxed sites, a relaxed RMW gating a
+// branch without a sanctioning role, and a defaulted (seq_cst) atomic op
+// inside a SLJ_HOT_PATH body. Valid C++ throughout: the memory model is
+// exactly the kind of invariant the compiler will never check for us.
+#include <atomic>
+#include <cstdint>
+
+#include "core/annotations.hpp"
+
+std::atomic<std::uint64_t> hits{0};
+std::atomic<std::uint64_t> refs{1};
+std::atomic<bool> draining{false};
+
+void untagged_counter() {
+  hits.fetch_add(1, std::memory_order_relaxed);  // no slj-atomic tag: finding
+}
+
+void reclaim_style_branch() {
+  // Relaxed RMW feeding control flow with a role that does not sanction it:
+  // the classic use-after-free shape that needs acq_rel.
+  if (refs.fetch_sub(1, std::memory_order_relaxed) == 1) {  // slj-atomic: flag
+    draining.store(true, std::memory_order_relaxed);  // slj-atomic: flag
+  }
+}
+
+SLJ_HOT_PATH void hot_defaulted_fence(std::uint64_t n) {
+  hits.store(n);  // defaulted seq_cst order on the hot path: finding
+}

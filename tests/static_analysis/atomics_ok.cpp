@@ -1,0 +1,39 @@
+// Lint fixture: the positive control for atomics-discipline. Every relaxed
+// site carries a role tag, the CAS-max loop is sanctioned by the counter
+// role, the hot-path atomic op spells its order, and the SIMD-style .store
+// on a non-atomic receiver is ignored. slj_lint must pass this file clean.
+#include <atomic>
+#include <cstdint>
+
+#include "core/annotations.hpp"
+
+std::atomic<std::uint64_t> hits{0};
+std::atomic<std::uint64_t> peak{0};
+std::atomic<bool> draining{false};
+
+struct FakeVec {
+  void store(double* dst) const { *dst = 0.0; }
+};
+
+void tagged_counter() {
+  hits.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
+}
+
+void tagged_max(std::uint64_t sample) {
+  // slj-atomic: counter — monotonic-max CAS; a raced retry republishes the winner
+  std::uint64_t seen = peak.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         // slj-atomic: counter
+         !peak.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+void tagged_flag() {
+  draining.store(true, std::memory_order_relaxed);  // slj-atomic: flag
+}
+
+SLJ_HOT_PATH void hot_explicit_order(std::uint64_t n, double* out) {
+  hits.store(n, std::memory_order_relaxed);  // slj-atomic: counter
+  const FakeVec v;
+  v.store(out);  // non-atomic .store: not the atomics rule's business
+}

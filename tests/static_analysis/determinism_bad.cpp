@@ -1,0 +1,33 @@
+// Lint fixture: every way the determinism rule fires. slj_lint MUST report
+// findings here — range-for over an unordered container (hash-seed order
+// leaks into whatever the loop builds), float accumulation inside an
+// integer-domain SLJ_HOT_PATH kernel, and libc randomness/wall-clock reads
+// outside src/synth/.
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <unordered_map>
+
+#include "core/annotations.hpp"
+
+std::string serialize_report(const std::unordered_map<int, int>& scores) {
+  std::string out;
+  for (const auto& [id, score] : scores) {  // unordered iteration: finding
+    out += std::to_string(id) + ":" + std::to_string(score) + "\n";
+  }
+  return out;
+}
+
+SLJ_HOT_PATH void accumulate_rows(const std::uint8_t* row, int width, std::int32_t* sums) {
+  float acc = 0.0f;  // float in an integer-domain kernel: finding
+  for (int x = 0; x < width; ++x) {
+    acc += static_cast<float>(row[x]);
+  }
+  sums[0] = static_cast<std::int32_t>(acc);
+}
+
+int jitter() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // time(): finding
+  return std::rand();                                     // rand(): finding
+}

@@ -1,0 +1,31 @@
+// Lint fixture: the positive control for determinism. The unordered map is
+// drained through a sorted vector before serialization (the sanctioned
+// idiom, see skeleton_graph.cpp), the hot kernel accumulates in the exact
+// integer domain (double SAT entries hold exact integer sums), and nothing
+// reads libc randomness or the wall clock. slj_lint must pass this clean.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/annotations.hpp"
+
+std::string serialize_report(const std::unordered_map<int, int>& scores) {
+  std::vector<std::pair<int, int>> rows(scores.begin(), scores.end());
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& [id, score] : rows) {
+    out += std::to_string(id) + ":" + std::to_string(score) + "\n";
+  }
+  return out;
+}
+
+SLJ_HOT_PATH void accumulate_rows(const std::uint8_t* row, int width, std::int32_t* sums) {
+  std::int32_t acc = 0;
+  for (int x = 0; x < width; ++x) {
+    acc += row[x];
+  }
+  sums[0] = acc;
+}

@@ -1,0 +1,9 @@
+// Lint fixture: a translation unit the AST engine can never parse — the
+// include does not exist and the syntax is broken mid-declaration. The
+// lexical pass still runs (and finds nothing), but `clang++ -ast-dump=json`
+// fails, so linting this file MUST exit 0 by default (loud fallback note)
+// and exit 2 under --strict-engine. It carries an SLJ_HOT_PATH token so the
+// AST surface pre-filter does not skip the dump.
+#include "no/such/header.hpp"
+
+SLJ_HOT_PATH void broken_translation_unit(int {{{

@@ -1,0 +1,10 @@
+// Lint fixture: every way the layering rule fires. The harness stages this
+// file as src/imaging/layering_bad.cpp in a scratch tree and lints it
+// against the real scripts/lint/layers.toml, so slj_lint MUST report an
+// upward dependency (imaging -> ingest), a non-canonical relative include,
+// and an include that resolves to no module in the DAG.
+#include "../core/simd.hpp"        // not canonical "module/header.hpp" form
+#include "ingest/frame_queue.hpp"  // upward: imaging may not include ingest
+#include "widgets/widget.hpp"      // no such module in layers.toml
+
+int imaging_helper() { return 1; }

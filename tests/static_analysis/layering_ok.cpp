@@ -1,0 +1,9 @@
+// Lint fixture: the positive control for layering. Staged as
+// src/imaging/layering_ok.cpp, it includes only its own module and the
+// core_base vocabulary imaging is allowed to depend on — slj_lint must pass
+// this file clean against the real scripts/lint/layers.toml.
+#include "core/annotations.hpp"
+#include "core/simd.hpp"
+#include "imaging/frame.hpp"
+
+int imaging_helper() { return 1; }

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""ctest harness for scripts/lint/slj_lint.py itself.
+
+Drives the linter against every fixture in tests/static_analysis/: each rule
+pack has at least one failing fixture (planted violations MUST be reported)
+and one passing positive control (idiomatic code MUST stay clean), so a lint
+regression in either direction — missed violations or new false positives —
+fails the suite. Also covers the engine-selection contract (per-file engine
+reporting, loud fallback, --strict-engine exit 2) and the suppression
+ratchet.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+LINT = REPO / "scripts" / "lint" / "slj_lint.py"
+FIXTURES = REPO / "tests" / "static_analysis"
+LAYERS = REPO / "scripts" / "lint" / "layers.toml"
+
+HAVE_CLANG = shutil.which("clang++") is not None
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+# fixture stem -> (expected exit, rule expected in the findings or None,
+#                  minimum number of finding lines)
+DIRECT_FIXTURES = {
+    "atomics_bad": (1, "atomics-discipline", 3),
+    "atomics_ok": (0, None, 0),
+    "determinism_bad": (1, "determinism", 5),
+    "determinism_ok": (0, None, 0),
+    "hot_path_bad": (1, "hot-path-alloc", 3),
+    "hot_path_ok": (0, None, 0),
+    "hot_path_simd_bad": (1, "simd-dispatch", 1),
+    "hot_path_simd_ok": (0, None, 0),
+    "naked_mutex_bad": (1, "naked-mutex", 1),
+    # Thread-safety fixtures for the negative-compile suite: no lint rule
+    # fires on them, and the lint must not crash on annotation macros.
+    "guarded_bad": (0, None, 0),
+    "guarded_ok": (0, None, 0),
+    # Unparseable TU: the lexical floor still runs and finds nothing.
+    "engine_fallback": (0, None, 0),
+}
+
+# Staged as src/imaging/<name>.cpp against the real layers.toml.
+LAYERING_FIXTURES = {
+    "layering_bad": (1, "layering", 3),
+    "layering_ok": (0, None, 0),
+}
+
+# The unchecked-read rule keys on the deserializer rel-paths, so this
+# fixture is staged at one of them (mirroring test_static_analysis.cmake).
+STAGED_FIXTURES = {
+    "unchecked_read_bad": ("src/synth/clip_io.cpp", 1, "unchecked-read", 1),
+}
+
+
+class FixtureExpectations(unittest.TestCase):
+    def check(self, proc: subprocess.CompletedProcess, stem: str,
+              exit_code: int, rule: str | None, min_findings: int) -> None:
+        self.assertEqual(
+            proc.returncode, exit_code,
+            f"{stem}: expected exit {exit_code}, got {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        findings = [l for l in proc.stdout.splitlines() if "] " in l]
+        self.assertGreaterEqual(
+            len(findings), min_findings,
+            f"{stem}: expected >= {min_findings} findings, got:\n{proc.stdout}")
+        if rule is not None:
+            self.assertTrue(
+                any(f"[{rule}]" in l for l in findings),
+                f"{stem}: no [{rule}] finding in:\n{proc.stdout}")
+
+    def test_every_fixture_is_covered(self) -> None:
+        stems = {p.stem for p in FIXTURES.glob("*.cpp")}
+        covered = set(DIRECT_FIXTURES) | set(LAYERING_FIXTURES) | set(STAGED_FIXTURES)
+        self.assertEqual(
+            stems, covered,
+            "new fixture without a lint expectation (or a stale entry): "
+            f"{sorted(stems ^ covered)}")
+
+    def test_direct_fixtures(self) -> None:
+        for stem, (exit_code, rule, n) in DIRECT_FIXTURES.items():
+            with self.subTest(fixture=stem):
+                proc = run_lint("--root", str(REPO), "--engine", "lexical",
+                                "-q", str(FIXTURES / f"{stem}.cpp"))
+                self.check(proc, stem, exit_code, rule, n)
+
+    def test_staged_fixtures(self) -> None:
+        for stem, (rel, exit_code, rule, n) in STAGED_FIXTURES.items():
+            with self.subTest(fixture=stem):
+                with tempfile.TemporaryDirectory() as tmp:
+                    staged = Path(tmp) / rel
+                    staged.parent.mkdir(parents=True)
+                    shutil.copy(FIXTURES / f"{stem}.cpp", staged)
+                    proc = run_lint("--root", tmp, "--engine", "lexical",
+                                    "-q", str(staged))
+                    self.check(proc, stem, exit_code, rule, n)
+
+    def test_layering_fixtures_staged(self) -> None:
+        for stem, (exit_code, rule, n) in LAYERING_FIXTURES.items():
+            with self.subTest(fixture=stem):
+                with tempfile.TemporaryDirectory() as tmp:
+                    staged = Path(tmp) / "src" / "imaging" / f"{stem}.cpp"
+                    staged.parent.mkdir(parents=True)
+                    shutil.copy(FIXTURES / f"{stem}.cpp", staged)
+                    proc = run_lint("--root", tmp, "--layers", str(LAYERS),
+                                    "--engine", "lexical", "-q", str(staged))
+                    self.check(proc, stem, exit_code, rule, n)
+
+
+class EngineContract(unittest.TestCase):
+    def test_summary_reports_per_file_engine(self) -> None:
+        proc = run_lint("--root", str(REPO), "--engine", "lexical",
+                        str(FIXTURES / "hot_path_ok.cpp"))
+        self.assertIn("engine: lexical", proc.stderr)
+
+    def test_fallback_is_loud_but_not_fatal_by_default(self) -> None:
+        proc = run_lint("--root", str(REPO), "--engine", "ast",
+                        str(FIXTURES / "engine_fallback.cpp"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("fallback", proc.stdout + proc.stderr)
+
+    def test_strict_engine_exits_2_on_fallback(self) -> None:
+        # Without clang++ the AST engine cannot run at all; with clang++ the
+        # fixture's broken syntax fails the AST dump. Either way the file
+        # falls back, which --strict-engine must turn into exit 2.
+        proc = run_lint("--root", str(REPO), "--engine", "ast",
+                        "--strict-engine", str(FIXTURES / "engine_fallback.cpp"))
+        self.assertEqual(proc.returncode, 2,
+                         f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        self.assertIn("--strict-engine", proc.stderr)
+
+    def test_engine_parity_on_hot_path_fixtures(self) -> None:
+        """AST and lexical engines must agree on the hot-path-alloc fixtures.
+
+        The lexical floor always runs, so the AST overlay may only ever add
+        findings lexical missed — on these fixtures (no macro-hidden allocs)
+        the finding sets must be identical. Without clang++ the AST run
+        degrades to the floor, which makes parity hold trivially; with
+        clang++ this is the real structural/lexical agreement check.
+        """
+        for stem in ("hot_path_bad", "hot_path_ok"):
+            with self.subTest(fixture=stem):
+                runs = {}
+                for engine in ("lexical", "ast"):
+                    proc = run_lint("--root", str(REPO), "--engine", engine,
+                                    "-q", str(FIXTURES / f"{stem}.cpp"))
+                    runs[engine] = sorted(
+                        l for l in proc.stdout.splitlines() if "] " in l)
+                self.assertEqual(runs["lexical"], runs["ast"],
+                                 f"{stem}: engine findings diverge")
+
+
+class SuppressionRatchet(unittest.TestCase):
+    def stage(self, tmp: str, baseline_total: int) -> tuple[Path, Path]:
+        root = Path(tmp)
+        target = root / "src" / "core" / "suppressed.cpp"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "#include <mutex>\n"
+            "std::mutex legacy_mu;  // slj-lint: allow(naked-mutex)\n")
+        baseline = root / "suppressions_baseline.txt"
+        baseline.write_text(f"total {baseline_total}\n"
+                            f"naked-mutex {baseline_total}\n")
+        return root, baseline
+
+    def test_growth_fails(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root, baseline = self.stage(tmp, baseline_total=0)
+            proc = run_lint("--root", str(root), "--engine", "lexical",
+                            "--suppression-baseline", str(baseline))
+            self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+            self.assertIn("suppression-ratchet", proc.stdout)
+            self.assertIn("grew", proc.stdout)
+
+    def test_at_baseline_passes(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root, baseline = self.stage(tmp, baseline_total=1)
+            proc = run_lint("--root", str(root), "--engine", "lexical",
+                            "--suppression-baseline", str(baseline))
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_repo_baseline_holds(self) -> None:
+        """The checked-in baseline must cover the tree as committed."""
+        proc = run_lint("--root", str(REPO), "--engine", "lexical",
+                        "--suppression-baseline",
+                        str(REPO / "scripts" / "lint" / "suppressions_baseline.txt"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -103,9 +103,58 @@ check_fail("lint rejects hot_path_simd_bad" "${simd_bad_expect}"
 check_pass("lint passes hot_path_simd_ok"
   "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/hot_path_simd_ok.cpp")
 
-# --- 5. slj_lint passes the real tree ---------------------------------------
+# --- 4d. slj_lint rejects untagged/defaulted/reclaim-style atomics ----------
+set(atomics_bad_expect "atomics-discipline" "untagged" "feeds control flow"
+    "defaulted (seq_cst)")
+check_fail("lint rejects atomics_bad" "${atomics_bad_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/atomics_bad.cpp")
+
+# --- 4e. slj_lint passes the tagged atomic taxonomy -------------------------
+check_pass("lint passes atomics_ok"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/atomics_ok.cpp")
+
+# --- 4f. slj_lint rejects nondeterminism sources ----------------------------
+set(det_bad_expect "determinism" "unordered" "float" "rand")
+check_fail("lint rejects determinism_bad" "${det_bad_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/determinism_bad.cpp")
+
+# --- 4g. slj_lint passes the sorted-iteration / integer-domain idioms -------
+check_pass("lint passes determinism_ok"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q "${FIXTURES}/determinism_ok.cpp")
+
+# --- 4h. slj_lint rejects layering violations -------------------------------
+# The rule resolves modules from the path under src/, so stage the fixtures
+# into a throwaway tree as members of the imaging module, validated against
+# the real layers.toml.
+file(MAKE_DIRECTORY "${SCRATCH}/layering/src/imaging")
+configure_file("${FIXTURES}/layering_bad.cpp"
+               "${SCRATCH}/layering/src/imaging/layering_bad.cpp" COPYONLY)
+configure_file("${FIXTURES}/layering_ok.cpp"
+               "${SCRATCH}/layering/src/imaging/layering_ok.cpp" COPYONLY)
+set(layering_bad_expect "layering" "upward" "canonical" "no module")
+check_fail("lint rejects layering_bad" "${layering_bad_expect}"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SCRATCH}/layering"
+  --layers "${SLJ_ROOT}/scripts/lint/layers.toml" -q
+  "${SCRATCH}/layering/src/imaging/layering_bad.cpp")
+
+# --- 4i. slj_lint passes the in-DAG includes --------------------------------
+check_pass("lint passes layering_ok"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SCRATCH}/layering"
+  --layers "${SLJ_ROOT}/scripts/lint/layers.toml" -q
+  "${SCRATCH}/layering/src/imaging/layering_ok.cpp")
+
+# --- 4j. --strict-engine turns an AST fallback into a hard failure ----------
+# engine_fallback.cpp cannot be parsed (and on clang-less hosts the AST
+# engine cannot run at all) — either way the file degrades to lexical, which
+# strict mode must reject instead of silently passing.
+check_fail("strict engine rejects fallback" "--strict-engine"
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" --engine ast --strict-engine
+  -q "${FIXTURES}/engine_fallback.cpp")
+
+# --- 5. slj_lint passes the real tree (with the suppression ratchet) --------
 check_pass("lint passes src/"
-  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q)
+  "${SLJ_PYTHON}" "${LINT}" --root "${SLJ_ROOT}" -q
+  --suppression-baseline "${SLJ_ROOT}/scripts/lint/suppressions_baseline.txt")
 
 # --- 6. annotations compile everywhere (positive control) -------------------
 # Exercises the degradation path: on clang the annotations are analyzed, on
@@ -129,6 +178,14 @@ check_pass("hot_path_simd_bad compiles (${SLJ_CXX})"
 check_pass("hot_path_simd_ok compiles (${SLJ_CXX})"
   "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
   "${FIXTURES}/hot_path_simd_ok.cpp")
+
+# The atomics/determinism fixtures are valid C++ too — only the linter may
+# reject the *_bad ones, and the controls must build against the real headers.
+foreach(fixture atomics_bad atomics_ok determinism_bad determinism_ok)
+  check_pass("${fixture} compiles (${SLJ_CXX})"
+    "${SLJ_CXX}" -std=c++20 -fsyntax-only -I "${SLJ_ROOT}/src"
+    "${FIXTURES}/${fixture}.cpp")
+endforeach()
 
 # --- 7. clang rejects the unlocked guarded access ---------------------------
 execute_process(COMMAND "${SLJ_CXX}" --version OUTPUT_VARIABLE cxx_version
