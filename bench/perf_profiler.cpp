@@ -7,7 +7,14 @@
 // plus three relaxed atomic adds per instrumented stage; the guard asserts
 // that this stays under --max-overhead-pct (default 5%).
 //
-// Exits non-zero when the guard trips so CI can fail the build. With
+// The always-compiled event tracer gets the same treatment: the hot path
+// carries one obs::TraceSpan per frame, which when the tracer is disabled
+// (the default posture) costs a single relaxed load. The idle cost is
+// microbenchmarked directly and expressed as a percentage of the measured
+// per-frame time; --max-tracer-overhead-pct (default 3%) guards it. The
+// tracer-enabled end-to-end run is reported alongside for context.
+//
+// Exits non-zero when a guard trips so CI can fail the build. With
 // --json FILE the measurements are also written as a JSON document
 // (consumed by scripts/bench.sh to assemble BENCH_pr6.json).
 #include <algorithm>
@@ -20,6 +27,7 @@
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
 #include "core/profiler.hpp"
+#include "obs/tracer.hpp"
 
 namespace {
 
@@ -54,16 +62,33 @@ double best_of(int reps, const std::vector<slj::synth::Clip>& clips) {
   return best;
 }
 
+/// Nanoseconds one disabled (idle) TraceSpan costs: the relaxed enabled
+/// check is the only work, measured over a tight loop the optimizer cannot
+/// drop because the atomic load is an observable access.
+double idle_span_ns() {
+  constexpr int kSpans = 2'000'000;
+  const auto start = Clock::now();
+  for (int i = 0; i < kSpans; ++i) {
+    slj::obs::TraceSpan span("bench.idle");
+  }
+  const double total_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  return total_ns / kSpans;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace slj;
   const char* json_path = nullptr;
   double max_overhead_pct = 5.0;
+  double max_tracer_overhead_pct = 3.0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     if (std::strcmp(argv[i], "--max-overhead-pct") == 0)
       max_overhead_pct = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--max-tracer-overhead-pct") == 0)
+      max_tracer_overhead_pct = std::atof(argv[i + 1]);
   }
 
   bench::print_header("P6  hierarchical profiler overhead",
@@ -103,6 +128,33 @@ int main(int argc, char** argv) {
 
   core::Profiler::instance().set_enabled(core::Profiler::compiled_in());
 
+  // ---- event tracer: idle guard + enabled run for context ------------------
+  obs::Tracer::instance().set_enabled(false);
+  const double span_ns = idle_span_ns();
+  const double frame_ns = off_ms * 1e6 / static_cast<double>(frames);
+  // The serial workspace loop carries one "vision" span per frame.
+  const double tracer_idle_pct = 100.0 * span_ns / frame_ns;
+  std::printf("\ntracer idle span    %8.2f ns   -> %.4f %% of a %.0f ns frame "
+              "(guard: < %.1f %%)\n",
+              span_ns, tracer_idle_pct, frame_ns, max_tracer_overhead_pct);
+
+  obs::Tracer::instance().reset();
+  obs::Tracer::instance().set_enabled(true);
+  const double tracer_on_ms = best_of(kReps, clips);
+  obs::Tracer::instance().set_enabled(false);
+  const double tracer_on_pct = 100.0 * (tracer_on_ms - off_ms) / off_ms;
+  std::printf("tracer enabled      %8.1f ms   %7.1f frames/s   (%+.2f %% vs idle)\n",
+              tracer_on_ms, 1000.0 * frames / tracer_on_ms, tracer_on_pct);
+  const obs::TracerSnapshot trace_snap = obs::Tracer::instance().snapshot();
+  std::printf("tracer events kept: %llu (dropped %llu)\n",
+              static_cast<unsigned long long>(trace_snap.total_events),
+              static_cast<unsigned long long>(trace_snap.total_dropped));
+  obs::Tracer::instance().reset();
+  if (trace_snap.total_events + trace_snap.total_dropped == 0) {
+    std::fprintf(stderr, "error: tracer enabled but recorded no events\n");
+    return 1;
+  }
+
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -117,7 +169,14 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"enabled\": {\"ms\": %.3f, \"frames_per_s\": %.1f},\n", on_ms,
                  1000.0 * frames / on_ms);
     std::fprintf(f, "  \"overhead_pct\": %.3f,\n", overhead_pct);
-    std::fprintf(f, "  \"max_overhead_pct\": %.1f\n", max_overhead_pct);
+    std::fprintf(f, "  \"max_overhead_pct\": %.1f,\n", max_overhead_pct);
+    std::fprintf(f, "  \"tracer\": {\"idle_span_ns\": %.2f, \"idle_overhead_pct\": %.4f, "
+                    "\"enabled_ms\": %.3f, \"enabled_overhead_pct\": %.3f, "
+                    "\"events\": %llu, \"max_idle_overhead_pct\": %.1f}\n",
+                 span_ns, tracer_idle_pct, tracer_on_ms, tracer_on_pct,
+                 static_cast<unsigned long long>(trace_snap.total_events +
+                                                 trace_snap.total_dropped),
+                 max_tracer_overhead_pct);
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
@@ -127,6 +186,13 @@ int main(int argc, char** argv) {
   if (compiled && overhead_pct > max_overhead_pct) {
     std::fprintf(stderr, "error: profiler overhead %.2f%% exceeds guard of %.1f%%\n",
                  overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  // The tracer is compiled in unconditionally, so its idle guard always
+  // binds: a disabled span must stay a negligible fraction of frame cost.
+  if (tracer_idle_pct > max_tracer_overhead_pct) {
+    std::fprintf(stderr, "error: idle tracer overhead %.4f%% exceeds guard of %.1f%%\n",
+                 tracer_idle_pct, max_tracer_overhead_pct);
     return 1;
   }
   return 0;

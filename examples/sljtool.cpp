@@ -10,6 +10,15 @@
 //                                                trace (.sljtrace)
 //   sljtool replay   --trace FILE [...]          re-drive a trace and verify
 //                                                bit-identical analysis
+//   sljtool top      [--slo-p99 MS] [...]        live per-session SLO table with
+//                                                a flight recorder attached: an
+//                                                SLO breach (or SIGUSR1) dumps
+//                                                the retained window as a
+//                                                replayable incident .sljtrace
+//   sljtool trace-export --trace FILE --out FILE replay a trace with the event
+//                                                tracer on and export the merged
+//                                                tracer + profiler timeline as
+//                                                Chrome trace-event JSON
 //
 // Clip directories use the clip_io format (background.ppm, frame_NNN.ppm,
 // manifest.txt) — real footage can be dropped in the same layout.
@@ -26,6 +35,7 @@
 // with the live telemetry table refreshed as it runs.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +52,8 @@
 #include "core/stream_engine.hpp"
 #include "core/trainer.hpp"
 #include "ingest/ingest_service.hpp"
+#include "obs/service_monitor.hpp"
+#include "obs/tracer.hpp"
 #include "pose/decoders.hpp"
 #include "replay/trace_recorder.hpp"
 #include "replay/trace_replayer.hpp"
@@ -543,6 +555,214 @@ int cmd_replay(const std::map<std::string, std::string>& flags) {
   return result.identical() ? 0 : 1;
 }
 
+#ifdef SIGUSR1
+/// Set by the SIGUSR1 handler; cmd_top's refresh loop turns it into an
+/// operator-requested incident dump.
+volatile std::sig_atomic_t g_dump_requested = 0;
+void on_dump_signal(int) { g_dump_requested = 1; }
+#endif
+
+// top: the live operator view. Same jittery producers as serve, but with the
+// full observability stack attached — the event tracer on, a FlightRecorder
+// riding as the service's tap, and every refresh scored against the SLO
+// budgets. A gauge crossing into breach (or SIGUSR1) dumps the recorder's
+// retained window as incident_<n>_<reason>.sljtrace, replayable with
+// `sljtool replay`.
+int cmd_top(const std::map<std::string, std::string>& flags) {
+  pose::PoseDbnClassifier classifier;
+  if (const auto it = flags.find("model"); it != flags.end()) classifier = load_model(it->second);
+  synth::Clip clip;
+  if (const auto it = flags.find("clip"); it != flags.end()) {
+    clip = synth::load_clip(it->second);
+  } else {
+    synth::ClipSpec spec;
+    spec.seed = static_cast<std::uint32_t>(long_flag(flags, "seed", 2008, 1, 1u << 30));
+    clip = synth::generate_clip(spec);
+  }
+
+  const long sessions = long_flag(flags, "sessions", 4, 1, 1024);
+  const double seconds = double_flag(flags, "seconds", 4.0, 0.1, 3600.0);
+  const double fps = double_flag(flags, "fps", 60.0, 1.0, 10000.0);
+  const double jitter = double_flag(flags, "jitter", 0.5, 0.0, 1.0);
+  const long refresh_ms = long_flag(flags, "refresh", 500, 50, 60000);
+  const bool plain = long_flag(flags, "plain", 0, 0, 1) != 0;
+
+  ingest::IngestServiceConfig config;
+  config.manager.workers = static_cast<unsigned>(long_flag(flags, "workers", 0, 0, 1024));
+  ingest::IngestSessionConfig session_config;
+  session_config.queue.capacity =
+      static_cast<std::size_t>(long_flag(flags, "capacity", 8, 1, 4096));
+  session_config.queue.rate.tokens_per_second = double_flag(flags, "rate", 0.0, 0.0, 1e6);
+  session_config.queue.rate.burst = double_flag(flags, "burst", 4.0, 1.0, 4096.0);
+  session_config.queue.policy = policy_flag(flags, session_config.queue.policy);
+
+  obs::ServiceMonitorConfig monitor_config;
+  monitor_config.slo.p99_budget_ms = double_flag(flags, "slo-p99", 0.0, 0.0, 1e9);
+  monitor_config.slo.drop_rate_budget = double_flag(flags, "slo-drop", 0.0, 0.0, 1.0);
+  monitor_config.slo.breach_after =
+      static_cast<int>(long_flag(flags, "slo-breach-after", 2, 1, 1000));
+  monitor_config.slo.clear_after =
+      static_cast<int>(long_flag(flags, "slo-clear-after", 2, 1, 1000));
+  monitor_config.incident_dir = [&flags] {
+    const auto it = flags.find("incident-dir");
+    return it != flags.end() ? it->second : std::string(".");
+  }();
+  monitor_config.max_incidents =
+      static_cast<std::size_t>(long_flag(flags, "max-incidents", 4, 0, 64));
+
+  ingest::IngestService service(classifier, {}, config);
+  // The monitor installs the flight recorder tap and must exist before any
+  // session opens — a session the recorder never saw open cannot be dumped.
+  obs::ServiceMonitor monitor(service, monitor_config);
+#ifdef SIGUSR1
+  g_dump_requested = 0;
+  std::signal(SIGUSR1, on_dump_signal);
+#endif
+
+  std::vector<int> ids;
+  for (long s = 0; s < sessions; ++s) {
+    ids.push_back(service.open_session(clip.background, session_config));
+  }
+  std::printf("top: %ld jittery %.0f fps camera%s for %.1f s  (SLO: p99 %s, drop-rate %s; "
+              "incidents -> %s)\n",
+              sessions, fps, sessions == 1 ? "" : "s", seconds,
+              monitor_config.slo.latency_tracked()
+                  ? (std::to_string(monitor_config.slo.p99_budget_ms) + " ms").c_str()
+                  : "untracked",
+              monitor_config.slo.drops_tracked()
+                  ? std::to_string(monitor_config.slo.drop_rate_budget).c_str()
+                  : "untracked",
+              monitor_config.incident_dir.c_str());
+  service.start();
+
+  using WallClock = std::chrono::steady_clock;
+  const auto start = WallClock::now();
+  const auto deadline = start + std::chrono::duration_cast<WallClock::duration>(
+                                    std::chrono::duration<double>(seconds));
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    producers.emplace_back([&, s] {
+      std::mt19937 rng(static_cast<std::uint32_t>(1000 + s));
+      std::uniform_real_distribution<double> noise(1.0 - jitter, 1.0 + jitter);
+      const double period_s = 1.0 / fps;
+      std::size_t frame = s;  // stagger the feeds
+      while (WallClock::now() < deadline) {
+        service.push(ids[s], clip.frames[frame % clip.frames.size()]);
+        ++frame;
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<WallClock::duration>(
+                std::chrono::duration<double>(period_s * noise(rng))));
+      }
+    });
+  }
+
+  const auto print_table = [&](const ingest::IngestMetricsSnapshot& snap, double elapsed_s) {
+    if (!plain) std::printf("\033[H\033[2J");
+    std::printf("sljtool top  t=%5.1fs  seq %llu  sessions %zu  depth %zu  "
+                "p50 %.2f ms  p99 %.2f ms  breached %zu (total breaches %llu)\n",
+                elapsed_s, static_cast<unsigned long long>(snap.sequence), snap.open_sessions,
+                snap.queue_depth, snap.latency_p50_ms, snap.latency_p99_ms,
+                snap.slo_breached_sessions, static_cast<unsigned long long>(snap.slo_breaches));
+    std::printf("  id  policy         fps    pushed  delivered  dropped  depth  "
+                "p50 ms  p99 ms  drop%%   slo\n");
+    for (const ingest::SessionMetricsSnapshot& row : snap.sessions) {
+      std::printf("  %2d  %-13s %5.1f  %8llu  %9llu  %7llu  %5zu  %6.2f  %6.2f  %5.1f  %s\n",
+                  row.session, row.policy, row.throughput_fps,
+                  static_cast<unsigned long long>(row.pushed),
+                  static_cast<unsigned long long>(row.delivered),
+                  static_cast<unsigned long long>(row.dropped_oldest), row.queue_depth,
+                  row.latency_p50_ms, row.latency_p99_ms, 100.0 * row.drop_rate, row.slo_state);
+    }
+  };
+
+  while (WallClock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+#ifdef SIGUSR1
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      const std::string path = monitor.trigger_incident("signal");
+      if (!path.empty()) std::printf("incident dumped on signal: %s\n", path.c_str());
+    }
+#endif
+    print_table(monitor.poll(),
+                std::chrono::duration<double>(WallClock::now() - start).count());
+  }
+  for (std::thread& t : producers) t.join();
+  service.flush();
+
+  const ingest::IngestMetricsSnapshot snap = monitor.poll();
+  print_table(snap, std::chrono::duration<double>(WallClock::now() - start).count());
+  std::printf("\nfinal snapshot:\n%s\n", snap.to_json().c_str());
+  for (const int id : ids) service.close_session(id);
+  service.stop();
+
+  for (const std::string& path : monitor.incident_paths()) {
+    std::printf("incident trace: %s\n", path.c_str());
+  }
+  std::printf("flight recorder: %zu sessions retained, ~%zu KiB, %llu evicted, "
+              "%llu incidents\n",
+              monitor.recorder().sessions(), monitor.recorder().bytes() / 1024,
+              static_cast<unsigned long long>(monitor.recorder().evicted_sessions()),
+              static_cast<unsigned long long>(monitor.incidents()));
+
+  if (const auto it = flags.find("trace-json"); it != flags.end()) {
+    const core::ProfilerSnapshot profile = core::Profiler::instance().snapshot();
+    std::ofstream json(it->second);
+    if (!json) throw std::runtime_error("cannot write " + it->second);
+    json << obs::chrome_trace_json(obs::Tracer::instance().snapshot(), &profile);
+    std::printf("trace timeline written to %s\n", it->second.c_str());
+  }
+
+  const ingest::IngestMetricsSnapshot end = service.metrics();
+  const bool balanced = end.pushed == end.delivered + end.dropped_oldest + end.discarded;
+  std::printf("accounting: pushed %llu == delivered %llu + dropped %llu + discarded %llu  [%s]\n",
+              static_cast<unsigned long long>(end.pushed),
+              static_cast<unsigned long long>(end.delivered),
+              static_cast<unsigned long long>(end.dropped_oldest),
+              static_cast<unsigned long long>(end.discarded), balanced ? "ok" : "MISMATCH");
+  return balanced ? 0 : 1;
+}
+
+// trace-export: replay a .sljtrace with the event tracer enabled and write
+// the merged tracer + profiler timeline as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto). The replay's bit-identity verdict is the
+// exit status, so the export doubles as a regression check.
+int cmd_trace_export(const std::map<std::string, std::string>& flags) {
+  pose::PoseDbnClassifier classifier;
+  if (const auto it = flags.find("model"); it != flags.end()) classifier = load_model(it->second);
+
+  const std::string trace_path = require(flags, "trace");
+  const std::string out_path = require(flags, "out");
+  replay::ReplayOptions options;
+  options.workers = static_cast<unsigned>(long_flag(flags, "workers", 1, 0, 1024));
+  options.posterior_tolerance = double_flag(flags, "tolerance", 0.0, 0.0, 1.0);
+
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::instance().reset();
+  core::Profiler::instance().reset();
+
+  const replay::TraceReplayer replayer(classifier, {}, options);
+  const replay::ReplayResult result = replayer.replay_file(trace_path);
+  obs::Tracer::instance().set_enabled(false);
+
+  const obs::TracerSnapshot tracer_snap = obs::Tracer::instance().snapshot();
+  const core::ProfilerSnapshot profile = core::Profiler::instance().snapshot();
+  std::ofstream json(out_path);
+  if (!json) throw std::runtime_error("cannot write " + out_path);
+  json << obs::chrome_trace_json(tracer_snap, &profile);
+
+  std::printf("replayed %llu ticks / %llu frames across %llu sessions; "
+              "exported %llu trace events (%llu dropped) from %zu threads to %s\n",
+              static_cast<unsigned long long>(result.ticks),
+              static_cast<unsigned long long>(result.frames_replayed),
+              static_cast<unsigned long long>(result.sessions_opened),
+              static_cast<unsigned long long>(tracer_snap.total_events),
+              static_cast<unsigned long long>(tracer_snap.total_dropped),
+              tracer_snap.threads.size(), out_path.c_str());
+  std::printf("verdict: %s\n", result.identical() ? "bit-identical" : "DIVERGED");
+  return result.identical() ? 0 : 1;
+}
+
 int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const pose::PoseDbnClassifier classifier = load_model(require(flags, "model"));
   const synth::Dataset dataset = synth::load_dataset(require(flags, "data"));
@@ -575,7 +795,16 @@ int usage() {
               "                   [--policy block|drop-oldest|reject-newest] [--capacity N]\n"
               "                   [--rate TOKENS_PER_S] [--burst N] [--workers N]\n"
               "  sljtool replay   --trace FILE [--model FILE] [--workers N] [--tolerance X]\n"
-              "                   [--profile-json FILE]\n");
+              "                   [--profile-json FILE]\n"
+              "  sljtool top      [--model FILE] [--clip DIR | --seed N] [--sessions N]\n"
+              "                   [--seconds S] [--fps F] [--jitter 0..1] [--workers N]\n"
+              "                   [--policy block|drop-oldest|reject-newest] [--capacity N]\n"
+              "                   [--rate TOKENS_PER_S] [--burst N] [--refresh MS] [--plain 0|1]\n"
+              "                   [--slo-p99 MS] [--slo-drop 0..1] [--slo-breach-after N]\n"
+              "                   [--slo-clear-after N] [--incident-dir DIR] [--max-incidents N]\n"
+              "                   [--trace-json FILE]\n"
+              "  sljtool trace-export --trace FILE --out FILE [--model FILE] [--workers N]\n"
+              "                   [--tolerance X]\n");
   return 2;
 }
 
@@ -594,6 +823,8 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "record") return cmd_record(flags);
     if (cmd == "replay") return cmd_replay(flags);
+    if (cmd == "top") return cmd_top(flags);
+    if (cmd == "trace-export") return cmd_trace_export(flags);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Perf trajectory: builds Release, runs the engine + ingest + profiler
-# benches, and emits BENCH_pr8.json (frames/sec, p50/p99 per-frame latency,
+# benches, and emits BENCH_pr10.json (frames/sec, p50/p99 per-frame latency,
 # the ingest plane's sustained throughput / drop rate / end-to-end latency,
-# and the profiler overhead guard), stamped with build provenance (git SHA,
-# compiler + flags, SIMD backend). CI uploads the file as an artifact so
-# regressions are visible PR over PR.
+# and the profiler + tracer overhead guards), stamped with build provenance
+# (git SHA, compiler + flags, SIMD backend). CI uploads the file as an
+# artifact so regressions are visible PR over PR.
+#
+# After the per-PR file lands, every BENCH_pr*.json present in the repo is
+# merged into BENCH_trajectory.json — one document holding the whole perf
+# history keyed by PR, with its own provenance stamp — so a reviewer can
+# diff throughput across PRs without fishing artifacts out of old runs.
 #
 # SIMD: if the host CPU advertises AVX2, the build is configured with
 # -DSLJ_SIMD=AVX2 (4 f64 lanes instead of SSE2's 2); override by exporting
@@ -20,7 +25,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr8.json}"
+OUT="${2:-BENCH_pr10.json}"
 
 # Pick the widest backend the host supports unless the caller pinned one.
 if [[ -z "${SLJ_BENCH_SIMD:-}" ]]; then
@@ -65,7 +70,7 @@ run_bench perf_profiler "$WORK/profiler.json"
 
 {
   echo '{'
-  echo '  "bench": "pr8-simd-banding",'
+  echo '  "bench": "pr10-observability",'
   echo '  "clip_engine":'
   sed 's/^/  /' "$WORK/clip.json" | sed '$ s/$/,/'
   echo '  "stream_engine":'
@@ -79,3 +84,36 @@ run_bench perf_profiler "$WORK/profiler.json"
 
 mv "$WORK/combined.json" "$OUT"
 echo "wrote $OUT"
+
+# ---- trajectory merge -------------------------------------------------------
+# Fold every per-PR bench file into one history document. Entries are keyed
+# by the pr tag embedded in the filename and ordered numerically (pr4 before
+# pr10), and the merge is assembled in the temp dir and moved into place
+# atomically — same contract as the per-PR file: no partial output, ever.
+TRAJECTORY="BENCH_trajectory.json"
+mapfile -t BENCH_FILES < <(ls BENCH_pr*.json 2>/dev/null | sort -V)
+if [[ "${#BENCH_FILES[@]}" -gt 0 ]]; then
+  {
+    echo '{'
+    echo '  "trajectory": "conf_icdcsw_HsuYCH08 perf history",'
+    echo "  \"generated_at_sha\": \"$SLJ_GIT_SHA\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"entries\": {"
+    last_idx=$(( ${#BENCH_FILES[@]} - 1 ))
+    for i in "${!BENCH_FILES[@]}"; do
+      f="${BENCH_FILES[$i]}"
+      tag="${f#BENCH_}"
+      tag="${tag%.json}"
+      echo "    \"$tag\":"
+      if [[ "$i" -lt "$last_idx" ]]; then
+        sed 's/^/    /' "$f" | sed '$ s/$/,/'
+      else
+        sed 's/^/    /' "$f"
+      fi
+    done
+    echo '  }'
+    echo '}'
+  } > "$WORK/trajectory.json"
+  mv "$WORK/trajectory.json" "$TRAJECTORY"
+  echo "wrote $TRAJECTORY (${#BENCH_FILES[@]} entries)"
+fi

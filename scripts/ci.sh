@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, and run the full gtest suite via ctest.
-# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay|--analyze] [--simd-off]
+# Usage: scripts/ci.sh [build-dir] [--sanitize|--tsan|--tsan-stress|--replay|--analyze|--incident] [--simd-off]
 #   --sanitize     Debug build with ASan+UBSan (keeps the streaming/worker-pool
 #                  concurrency sanitizer-clean).
 #   --tsan         Debug build with ThreadSanitizer (pins that per-lane
@@ -9,6 +9,14 @@
 #                  multi-producer ingest stress tests repeatedly — the
 #                  dedicated race hunt for FrameQueue/IngestRouter/
 #                  IngestService under concurrent producers.
+#   --incident     Observability end-to-end lane: builds sljtool, runs the
+#                  `top` monitor headless against synthetic producers with a
+#                  sub-microsecond p99 budget so the SLO breaches on the
+#                  first evaluation, asserts the flight recorder dumped an
+#                  incident .sljtrace, and replays every incident bit-for-bit
+#                  at 1, 2, and 4 workers. Incident traces, the tracer
+#                  timeline, and the final metrics snapshot land in
+#                  <build-dir>/incident_artifacts/ for upload.
 #   --analyze      Static-analysis lane: library build with the warning
 #                  baseline promoted to errors (-Wall -Wextra -Wshadow
 #                  -Wconversion -Werror), the slj_lint invariant linter
@@ -76,6 +84,9 @@ for arg in "$@"; do
       ;;
     --analyze)
       MODE="analyze"
+      ;;
+    --incident)
+      MODE="incident"
       ;;
     --analyze-full)
       MODE="analyze"
@@ -207,6 +218,41 @@ if [[ "$MODE" == "replay" ]]; then
     done
   done
   echo "replay artifacts in $ARTIFACTS/"
+elif [[ "$MODE" == "incident" ]]; then
+  cmake --build "$BUILD_DIR" -j --target sljtool
+
+  ARTIFACTS="$BUILD_DIR/incident_artifacts"
+  rm -rf "$ARTIFACTS"
+  mkdir -p "$ARTIFACTS"
+
+  # A 0.0001 ms p99 budget is unmeetable by construction, so the first SLO
+  # evaluation breaches and the monitor dumps a flight-recorder incident.
+  # --plain keeps the output log-friendly; the run still gates on its own
+  # push/deliver/drop accounting.
+  "$BUILD_DIR/sljtool" top --seed 7 --sessions 3 --seconds 2 --fps 60 \
+    --workers 2 --policy drop-oldest --capacity 4 \
+    --slo-p99 0.0001 --slo-breach-after 1 --plain 1 \
+    --incident-dir "$ARTIFACTS" --max-incidents 2 \
+    --trace-json "$ARTIFACTS/trace_export.json" \
+    | tee "$ARTIFACTS/top.log"
+
+  shopt -s nullglob
+  incidents=("$ARTIFACTS"/incident_*.sljtrace)
+  if [[ ${#incidents[@]} -eq 0 ]]; then
+    echo "error: forced SLO breach produced no incident .sljtrace" >&2
+    exit 1
+  fi
+  echo "incident lane: ${#incidents[@]} incident trace(s) dumped"
+
+  # The acceptance bar for a flight-recorder dump is the same as for a
+  # checked-in golden trace: replay must be bit-identical at every worker
+  # count, or the incident is not actionable evidence.
+  for trace in "${incidents[@]}"; do
+    for workers in 1 2 4; do
+      "$BUILD_DIR/sljtool" replay --trace "$trace" --workers "$workers"
+    done
+  done
+  echo "incident artifacts in $ARTIFACTS/"
 elif [[ "$MODE" == "tsan-stress" ]]; then
   cmake --build "$BUILD_DIR" -j --target test_ingest
   # Repetition is what shakes out rare interleavings: the blocked-producer

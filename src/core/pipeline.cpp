@@ -2,6 +2,7 @@
 
 #include "core/profiler.hpp"
 #include "core/simd.hpp"
+#include "obs/tracer.hpp"
 #include "imaging/morphology.hpp"
 #include "skelgraph/simplify.hpp"
 #include "thinning/zhang_suen.hpp"
@@ -46,6 +47,7 @@ FrameObservation FramePipeline::process(const RgbImage& frame, detect::BlobTrack
 
 SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, FrameWorkspace& ws,
                                  FrameObservation& out, BandExecutor* exec) const {
+  obs::TraceSpan trace("vision");
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
     extractor_.extract_into(frame, ws, out.silhouette, exec);
@@ -56,6 +58,7 @@ SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, FrameWorksp
 SLJ_HOT_PATH void FramePipeline::process_into(const RgbImage& frame, detect::BlobTracker& tracker,
                                  FrameWorkspace& ws, FrameObservation& out,
                                  BandExecutor* exec) const {
+  obs::TraceSpan trace("vision");
   {
     SLJ_PROFILE_SCOPE(ProfileStage::kExtract);
     extractor_.extract_into(frame, ws, out.silhouette, exec);

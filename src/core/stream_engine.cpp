@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/profiler.hpp"
+#include "obs/tracer.hpp"
 
 namespace slj::core {
 
@@ -105,6 +106,7 @@ SLJ_HOT_PATH void StreamManager::tick_into(const std::vector<Feed>& feeds, std::
   }
   updates.resize(feeds.size());
   pool_.parallel_for(feeds.size(), [&](std::size_t i) {
+    obs::TraceSpan span("frame", feeds[i].session);
     updates[i] = session_at(feeds[i].session).push_frame(*feeds[i].frame);
   });
 }

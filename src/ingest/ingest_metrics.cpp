@@ -107,6 +107,11 @@ void IngestMetrics::note_depth(std::size_t depth) {
 
 IngestMetricsSnapshot IngestMetrics::snapshot_totals() const {
   IngestMetricsSnapshot snap;
+  // slj-atomic: counter — each sample gets a unique, ordered sequence number
+  snap.sequence = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
   snap.pushed = pushed_.load(std::memory_order_relaxed);                  // slj-atomic: snapshot
   snap.delivered = delivered_.load(std::memory_order_relaxed);            // slj-atomic: snapshot
   snap.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);  // slj-atomic: snapshot
@@ -126,8 +131,11 @@ IngestMetricsSnapshot IngestMetrics::snapshot_totals() const {
 // ---- JSON ------------------------------------------------------------------
 
 std::string IngestMetricsSnapshot::to_json() const {
-  char buf[512];
+  char buf[768];
   std::string out = "{\n";
+  std::snprintf(buf, sizeof(buf), "  \"sequence\": %llu,\n  \"wall_ms\": %lld,\n",
+                static_cast<unsigned long long>(sequence), static_cast<long long>(wall_ms));
+  out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  \"pushed\": %llu,\n  \"delivered\": %llu,\n  \"dropped_oldest\": %llu,\n"
                 "  \"rejected\": %llu,\n  \"rate_limited\": %llu,\n  \"closed_pushes\": %llu,\n"
@@ -146,9 +154,11 @@ std::string IngestMetricsSnapshot::to_json() const {
   std::snprintf(buf, sizeof(buf),
                 "  \"open_sessions\": %zu,\n  \"queue_depth\": %zu,\n"
                 "  \"queue_depth_peak\": %zu,\n  \"latency_p50_ms\": %.3f,\n"
-                "  \"latency_p99_ms\": %.3f,\n  \"latency_max_ms\": %.3f,\n",
+                "  \"latency_p99_ms\": %.3f,\n  \"latency_max_ms\": %.3f,\n"
+                "  \"slo_breached_sessions\": %zu,\n  \"slo_breaches\": %llu,\n",
                 open_sessions, queue_depth, queue_depth_peak, latency_p50_ms, latency_p99_ms,
-                latency_max_ms);
+                latency_max_ms, slo_breached_sessions,
+                static_cast<unsigned long long>(slo_breaches));
   out += buf;
   out += "  \"sessions\": [";
   for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -156,14 +166,17 @@ std::string IngestMetricsSnapshot::to_json() const {
     std::snprintf(buf, sizeof(buf),
                   "%s\n    {\"session\": %d, \"policy\": \"%s\", \"pushed\": %llu, "
                   "\"delivered\": %llu, \"dropped_oldest\": %llu, \"rejected\": %llu, "
-                  "\"rate_limited\": %llu, \"queue_depth\": %zu, \"throughput_fps\": %.1f}",
+                  "\"rate_limited\": %llu, \"queue_depth\": %zu, \"throughput_fps\": %.1f, "
+                  "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+                  "\"drop_rate\": %.4f, \"slo_state\": \"%s\", \"slo_breaches\": %llu}",
                   i == 0 ? "" : ",", s.session, s.policy,
                   static_cast<unsigned long long>(s.pushed),
                   static_cast<unsigned long long>(s.delivered),
                   static_cast<unsigned long long>(s.dropped_oldest),
                   static_cast<unsigned long long>(s.rejected),
                   static_cast<unsigned long long>(s.rate_limited), s.queue_depth,
-                  s.throughput_fps);
+                  s.throughput_fps, s.latency_p50_ms, s.latency_p99_ms, s.drop_rate,
+                  s.slo_state, static_cast<unsigned long long>(s.slo_breaches));
     out += buf;
   }
   out += sessions.empty() ? "],\n" : "\n  ],\n";

@@ -58,11 +58,25 @@ struct SessionMetricsSnapshot {
   std::uint64_t rate_limited = 0;
   std::size_t queue_depth = 0;
   double throughput_fps = 0.0;     ///< delivered frames / seconds since open
+  double latency_p50_ms = 0.0;     ///< this session's end-to-end latency
+  double latency_p99_ms = 0.0;
+  /// SLO decoration, filled by obs::SloTracker::evaluate (untouched — and
+  /// "untracked" — when no SLO budgets are configured).
+  double drop_rate = 0.0;          ///< shed fraction over the last SLO interval
+  const char* slo_state = "untracked";  ///< "ok" | "breach" | "untracked"
+  std::uint64_t slo_breaches = 0;  ///< lifetime breach entries for this session
 };
 
 /// One coherent-enough view of the plane (counters are read individually, so
 /// rows can be off by the odd in-flight frame — fine for telemetry).
 struct IngestMetricsSnapshot {
+  /// Monotonic snapshot sequence number: consumers polling the JSON can
+  /// detect reordered or duplicated samples. Bumped by snapshot_totals().
+  std::uint64_t sequence = 0;
+  /// Wall-clock sample time, milliseconds since the Unix epoch. The only
+  /// wall-clock field in the plane — everything else runs on Clock
+  /// (steady_clock) — so dashboards can align samples across processes.
+  std::int64_t wall_ms = 0;
   std::uint64_t pushed = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_oldest = 0;
@@ -83,6 +97,9 @@ struct IngestMetricsSnapshot {
   double latency_p50_ms = 0.0;       ///< end-to-end: enqueue -> sink
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  /// SLO rollup, filled by obs::SloTracker::evaluate (0 when untracked).
+  std::size_t slo_breached_sessions = 0;  ///< sessions currently in breach
+  std::uint64_t slo_breaches = 0;         ///< lifetime breach entries, all sessions
   std::vector<SessionMetricsSnapshot> sessions;
   /// Per-stage time breakdown (extract → thin → skelgraph → features →
   /// decode, plus the scheduler's drain/tick/deliver phases). Empty stage
@@ -112,9 +129,12 @@ class IngestMetrics {
   void note_depth(std::size_t depth);
 
   /// Totals only; IngestRouter fills open_sessions / queue_depth / rows.
+  /// Stamps the snapshot with a monotonic sequence number and the wall
+  /// clock, so each call yields a distinguishable, orderable sample.
   IngestMetricsSnapshot snapshot_totals() const;
 
  private:
+  mutable std::atomic<std::uint64_t> snapshot_seq_{0};
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_oldest_{0};

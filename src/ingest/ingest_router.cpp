@@ -187,6 +187,8 @@ IngestMetricsSnapshot IngestRouter::snapshot() {
     row.queue_depth = s->queue.depth();
     const double seconds = std::chrono::duration<double>(now - s->opened_at).count();
     row.throughput_fps = seconds > 0.0 ? static_cast<double>(row.delivered) / seconds : 0.0;
+    row.latency_p50_ms = s->latency.quantile_ms(0.50);
+    row.latency_p99_ms = s->latency.quantile_ms(0.99);
     snap.queue_depth += row.queue_depth;
     snap.sessions.push_back(row);
   }

@@ -122,6 +122,10 @@ class IngestRouter {
     std::atomic<std::uint64_t> dropped_oldest{0};
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> rate_limited{0};
+    /// Per-session end-to-end latency (enqueue -> sink), recorded by
+    /// IngestService alongside the plane-wide histogram. Feeds the
+    /// per-session p50/p99 snapshot rows the SLO tracker scores.
+    LatencyHistogram latency;
 
     SessionState(int id_, IngestSessionConfig config_, Clock::time_point now)
         : id(id_), config(config_), queue(config_.queue), opened_at(now),

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/profiler.hpp"
+#include "obs/tracer.hpp"
 
 namespace slj::ingest {
 
@@ -54,6 +55,7 @@ PushOutcome IngestService::push(int session, const RgbImage& frame) {
   if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
     tap->on_push(router_.now(), session, frame, outcome, sequence);
   }
+  obs::Tracer::instance().instant("ingest.push", session, static_cast<std::int64_t>(outcome));
   if (push_accepted(outcome)) {
     if (outcome == PushOutcome::kReplacedOldest) {
       note_completed(1);  // the replaced frame is discharged, not delivered
@@ -120,14 +122,17 @@ void IngestService::scheduler_loop() {
 
 std::size_t IngestService::pass_locked() {
   SLJ_PROFILE_SCOPE(core::ProfileStage::kPass);
+  obs::TraceSpan pass_span("ingest.pass");
   std::size_t count;
   {
     SLJ_PROFILE_SCOPE(core::ProfileStage::kDrain);
+    obs::TraceSpan span("ingest.drain");
     count = router_.drain(batch_);
   }
   if (count > 0) {
     {
       SLJ_PROFILE_SCOPE(core::ProfileStage::kTick);
+      obs::TraceSpan span("ingest.tick", -1, static_cast<std::int64_t>(count));
       manager_.tick_into(batch_.feeds, updates_);
     }
     router_.metrics().on_tick();
@@ -135,6 +140,7 @@ std::size_t IngestService::pass_locked() {
       tap->on_tick(router_.now(), batch_, updates_, count);
     }
     SLJ_PROFILE_SCOPE(core::ProfileStage::kDeliver);
+    obs::TraceSpan span("ingest.deliver", -1, static_cast<std::int64_t>(count));
     deliver_locked(count);
     note_completed(count);
   }
@@ -152,6 +158,7 @@ void IngestService::deliver_locked(std::size_t count) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(latency));
     if (const auto state = router_.state_if_open(session)) {
       state->delivered.fetch_add(1, std::memory_order_relaxed);  // slj-atomic: counter
+      state->latency.record(std::chrono::duration_cast<std::chrono::nanoseconds>(latency));
     }
     // Copy the sink out and invoke it unlocked (mirroring the eviction
     // path), so a slow sink never stalls concurrent open_session calls on
@@ -179,6 +186,8 @@ void IngestService::evict_idle_locked() {
     const core::JumpReport report = router_.close(id, &discarded);
     if (discarded > 0) note_completed(discarded);
     router_.metrics().on_eviction();
+    obs::Tracer::instance().instant("ingest.evict", id,
+                                    static_cast<std::int64_t>(discarded));
     if (IngestTap* tap = tap_.load(std::memory_order_acquire)) {
       tap->on_close(router_.now(), id, report, discarded, /*evicted=*/true);
     }

@@ -1,0 +1,602 @@
+// Observability subsystem tests:
+//   * tracer — spans/instants land in per-thread rings, a disabled tracer
+//     emits nothing, a wrapped ring keeps the newest events, and the Chrome
+//     trace-event export is well-formed;
+//   * histogram edge cases — empty, single-bucket interpolation, and
+//     saturating clamp into the last bucket;
+//   * SLO hysteresis — boundary values never flap the state machine, breach
+//     entry/clearing honor the consecutive-evaluation thresholds;
+//   * flight recorder — a dump from a live IngestService replays
+//     bit-identically at 1/2/4 workers, window and byte budgets evict whole
+//     sessions without corrupting the dump;
+//   * service monitor — a forced SLO breach produces a replayable incident
+//     trace exactly once per breach edge.
+#include "obs/service_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ingest/ingest_service.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/tracer.hpp"
+#include "replay/trace_replayer.hpp"
+#include "synth/dataset.hpp"
+
+namespace slj::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+synth::Clip mini_clip(std::uint32_t seed = 2008, int frame_count = 10) {
+  synth::ClipSpec spec;
+  spec.seed = seed;
+  spec.frame_count = frame_count;
+  spec.camera.width = 96;
+  spec.camera.height = 64;
+  spec.camera.pixels_per_meter = 24.0;
+  spec.camera.origin_x_px = 12.0;
+  spec.camera.ground_y_px = 60.0;
+  spec.camera.sensor_noise_sigma = 0.0;
+  spec.camera.speckle_fraction = 0.0;
+  return synth::generate_clip(spec);
+}
+
+struct ManualClock {
+  std::atomic<std::int64_t> nanos{0};
+  std::function<ingest::Clock::time_point()> fn() {
+    return [this] { return ingest::Clock::time_point{ingest::Clock::duration{nanos.load()}}; };
+  }
+  void advance(ingest::Clock::duration d) { nanos.fetch_add(d.count()); }
+};
+
+/// RAII guard: tests that enable the process-global tracer always restore
+/// the disabled default, even on assertion failure.
+struct TracerGuard {
+  explicit TracerGuard(bool enable) {
+    Tracer::instance().reset();
+    Tracer::instance().set_enabled(enable);
+  }
+  ~TracerGuard() {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().reset();
+  }
+};
+
+/// Sum of kept events across all threads whose name matches.
+std::size_t count_events(const TracerSnapshot& snap, const std::string& name) {
+  std::size_t n = 0;
+  for (const TracerThreadSnapshot& thread : snap.threads) {
+    for (const TraceEvent& ev : thread.events) {
+      if (name == ev.name) ++n;
+    }
+  }
+  return n;
+}
+
+// ---- tracer ----------------------------------------------------------------
+
+TEST(Tracer, SpansAndInstantsLandInSnapshot) {
+  TracerGuard guard(true);
+  {
+    TraceSpan span("obs.test.span", 7, 42);
+    Tracer::instance().instant("obs.test.instant", 7, 1);
+  }
+  const TracerSnapshot snap = Tracer::instance().snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(count_events(snap, "obs.test.span"), 1u);
+  EXPECT_EQ(count_events(snap, "obs.test.instant"), 1u);
+  for (const TracerThreadSnapshot& thread : snap.threads) {
+    for (const TraceEvent& ev : thread.events) {
+      if (std::string("obs.test.span") == ev.name) {
+        EXPECT_EQ(ev.kind, TraceEventKind::kSpan);
+        EXPECT_EQ(ev.session, 7);
+        EXPECT_EQ(ev.arg, 42);
+        EXPECT_GE(ev.dur_ns, 0);
+      }
+    }
+  }
+}
+
+TEST(Tracer, DisabledTracerEmitsNothing) {
+  TracerGuard guard(false);
+  {
+    TraceSpan span("obs.test.disabled");
+    Tracer::instance().instant("obs.test.disabled");
+  }
+  EXPECT_EQ(count_events(Tracer::instance().snapshot(), "obs.test.disabled"), 0u);
+}
+
+TEST(Tracer, WrappedRingKeepsNewestEvents) {
+  TracerGuard guard(true);
+  const std::size_t total = ThreadRing::kCapacity + 128;
+  for (std::size_t i = 0; i < total; ++i) {
+    Tracer::instance().instant("obs.test.wrap", -1, static_cast<std::int64_t>(i));
+  }
+  const TracerSnapshot snap = Tracer::instance().snapshot();
+  // Find this thread's ring: the one holding the wrap events.
+  std::int64_t newest = -1;
+  std::size_t kept = 0;
+  for (const TracerThreadSnapshot& thread : snap.threads) {
+    for (const TraceEvent& ev : thread.events) {
+      if (std::string("obs.test.wrap") == ev.name) {
+        ++kept;
+        newest = std::max(newest, ev.arg);
+      }
+    }
+  }
+  EXPECT_LE(kept, ThreadRing::kCapacity);
+  EXPECT_GE(kept, ThreadRing::kCapacity / 2);  // most of the ring survives
+  EXPECT_EQ(newest, static_cast<std::int64_t>(total - 1));  // newest kept
+  EXPECT_GE(snap.total_dropped, total - ThreadRing::kCapacity);
+}
+
+TEST(Tracer, ResetHidesPriorEvents) {
+  TracerGuard guard(true);
+  Tracer::instance().instant("obs.test.before");
+  Tracer::instance().reset();
+  Tracer::instance().instant("obs.test.after");
+  const TracerSnapshot snap = Tracer::instance().snapshot();
+  EXPECT_EQ(count_events(snap, "obs.test.before"), 0u);
+  EXPECT_EQ(count_events(snap, "obs.test.after"), 1u);
+}
+
+TEST(Tracer, ChromeExportIsWellFormed) {
+  TracerGuard guard(true);
+  {
+    TraceSpan span("obs.test.export", 3, 9);
+    Tracer::instance().instant("obs.test.mark");
+  }
+  const std::string json = chrome_trace_json(Tracer::instance().snapshot());
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"obs.test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tracer\": {"), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // An empty snapshot still renders a valid skeleton.
+  Tracer::instance().reset();
+  const std::string empty = chrome_trace_json(Tracer::instance().snapshot());
+  EXPECT_NE(empty.find("\"traceEvents\": []"), std::string::npos);
+}
+
+// ---- histogram edge cases --------------------------------------------------
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero) {
+  const ingest::LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.quantile_ms(0.0), 0.0);
+  EXPECT_EQ(histogram.quantile_ms(0.5), 0.0);
+  EXPECT_EQ(histogram.quantile_ms(0.99), 0.0);
+  EXPECT_EQ(histogram.max_ms(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleBucketInterpolatesWithinEdges) {
+  ingest::LatencyHistogram histogram;
+  for (int i = 0; i < 10; ++i) histogram.record(3us);  // bucket [2, 4) µs
+  EXPECT_EQ(histogram.count(), 10u);
+  const double p50 = histogram.quantile_ms(0.50);
+  const double p99 = histogram.quantile_ms(0.99);
+  EXPECT_GE(p50, 0.002);
+  EXPECT_LE(p99, 0.004);
+  EXPECT_LE(p50, p99);
+  // Quantile extremes stay inside the one occupied bucket too.
+  EXPECT_GE(histogram.quantile_ms(0.0), 0.002);
+  EXPECT_LE(histogram.quantile_ms(1.0), 0.004);
+}
+
+TEST(LatencyHistogram, SaturatingLatenciesClampIntoLastBucket) {
+  ingest::LatencyHistogram histogram;
+  histogram.record(std::chrono::hours(24));  // ~8.6e13 µs >> 2^39 µs
+  histogram.record(std::chrono::hours(48));
+  EXPECT_EQ(histogram.count(), 2u);
+  // Both land in the final bucket; the quantile caps at its upper edge
+  // rather than overflowing.
+  const double cap_ms = static_cast<double>(std::uint64_t{1}
+                                            << (ingest::LatencyHistogram::kBuckets - 1)) /
+                        1000.0;
+  EXPECT_LE(histogram.quantile_ms(0.99), cap_ms);
+  EXPECT_GT(histogram.quantile_ms(0.99), 0.0);
+  const double expected_max_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::hours(48)).count();
+  EXPECT_DOUBLE_EQ(histogram.max_ms(), expected_max_ms);
+  // Negative latencies clamp to zero instead of wrapping.
+  histogram.record(-5ms);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_GE(histogram.quantile_ms(0.0), 0.0);
+}
+
+// ---- SLO hysteresis --------------------------------------------------------
+
+/// One-session snapshot with the given lifetime p99, always delivering.
+ingest::IngestMetricsSnapshot latency_sample(double p99_ms, std::uint64_t delivered) {
+  ingest::IngestMetricsSnapshot snap;
+  ingest::SessionMetricsSnapshot row;
+  row.session = 0;
+  row.delivered = delivered;
+  row.latency_p99_ms = p99_ms;
+  snap.sessions.push_back(row);
+  return snap;
+}
+
+TEST(SloTracker, BoundaryValuesNeverFlap) {
+  SloConfig config;
+  config.p99_budget_ms = 10.0;
+  config.breach_after = 1;
+  config.clear_after = 1;
+  config.hysteresis = 0.1;
+  SloTracker tracker(config);
+
+  // Sitting exactly on the budget is not a breach (entry needs > budget)...
+  for (int i = 0; i < 20; ++i) {
+    ingest::IngestMetricsSnapshot snap = latency_sample(10.0, 1 + static_cast<std::uint64_t>(i));
+    tracker.evaluate(snap);
+    EXPECT_STREQ(snap.sessions[0].slo_state, "ok") << "evaluation " << i;
+  }
+  EXPECT_EQ(tracker.total_breaches(), 0u);
+
+  // ...and once breached, hovering between budget*(1-h) and budget keeps the
+  // breach latched: boundary noise cannot flap ok/breach/ok.
+  {
+    ingest::IngestMetricsSnapshot snap = latency_sample(10.5, 100);
+    tracker.evaluate(snap);
+    EXPECT_STREQ(snap.sessions[0].slo_state, "breach");
+  }
+  for (int i = 0; i < 20; ++i) {
+    ingest::IngestMetricsSnapshot snap = latency_sample(i % 2 == 0 ? 9.5 : 10.0, 101);
+    tracker.evaluate(snap);
+    EXPECT_STREQ(snap.sessions[0].slo_state, "breach") << "evaluation " << i;
+  }
+  EXPECT_EQ(tracker.total_breaches(), 1u);  // one edge, despite 20 boundary polls
+
+  // Clearing requires the full hysteresis margin (<= 9.0).
+  ingest::IngestMetricsSnapshot snap = latency_sample(9.0, 102);
+  tracker.evaluate(snap);
+  EXPECT_STREQ(snap.sessions[0].slo_state, "ok");
+}
+
+TEST(SloTracker, BreachAndClearNeedConsecutiveEvaluations) {
+  SloConfig config;
+  config.p99_budget_ms = 10.0;
+  config.breach_after = 3;
+  config.clear_after = 2;
+  config.hysteresis = 0.1;
+  SloTracker tracker(config);
+
+  const auto eval = [&tracker](double p99) {
+    ingest::IngestMetricsSnapshot snap = latency_sample(p99, 50);
+    std::vector<SloIncident> incidents;
+    tracker.evaluate(snap, &incidents);
+    return std::make_pair(std::string(snap.sessions[0].slo_state), incidents.size());
+  };
+
+  // Two bad evaluations, then a good one: the consecutive counter resets.
+  EXPECT_EQ(eval(20.0).first, "ok");
+  EXPECT_EQ(eval(20.0).first, "ok");
+  EXPECT_EQ(eval(5.0).first, "ok");
+  // Three consecutive bad evaluations breach — exactly one incident fires.
+  EXPECT_EQ(eval(20.0).first, "ok");
+  EXPECT_EQ(eval(20.0).first, "ok");
+  const auto [state, incidents] = eval(20.0);
+  EXPECT_EQ(state, "breach");
+  EXPECT_EQ(incidents, 1u);
+  // One good evaluation is not enough to clear with clear_after = 2.
+  EXPECT_EQ(eval(1.0).first, "breach");
+  EXPECT_EQ(eval(1.0).first, "ok");
+  EXPECT_EQ(tracker.total_breaches(), 1u);
+}
+
+TEST(SloTracker, DropGaugeScoresIntervalDeltas) {
+  SloConfig config;
+  config.drop_rate_budget = 0.2;
+  config.breach_after = 1;
+  config.clear_after = 1;
+  SloTracker tracker(config);
+
+  const auto eval = [&tracker](std::uint64_t pushed, std::uint64_t dropped) {
+    ingest::IngestMetricsSnapshot snap;
+    ingest::SessionMetricsSnapshot row;
+    row.session = 0;
+    row.pushed = pushed;
+    row.dropped_oldest = dropped;
+    snap.sessions.push_back(row);
+    tracker.evaluate(snap);
+    return std::make_pair(std::string(snap.sessions[0].slo_state), snap.sessions[0].drop_rate);
+  };
+
+  // First interval: 100 offered, 10 shed -> 10%, within budget.
+  auto [state1, rate1] = eval(100, 10);
+  EXPECT_EQ(state1, "ok");
+  EXPECT_DOUBLE_EQ(rate1, 0.1);
+  // Second interval: +100 offered, +50 shed -> 50% for the interval even
+  // though the lifetime ratio is 30%.
+  auto [state2, rate2] = eval(200, 60);
+  EXPECT_EQ(state2, "breach");
+  EXPECT_DOUBLE_EQ(rate2, 0.5);
+  // A silent interval (no new offers) leaves gauge and rate untouched.
+  auto [state3, rate3] = eval(200, 60);
+  EXPECT_EQ(state3, "breach");
+  EXPECT_DOUBLE_EQ(rate3, 0.5);
+}
+
+TEST(SloTracker, NoBudgetsMeansUntracked) {
+  SloTracker tracker{SloConfig{}};
+  ingest::IngestMetricsSnapshot snap = latency_sample(1000.0, 50);
+  tracker.evaluate(snap);
+  EXPECT_STREQ(snap.sessions[0].slo_state, "untracked");
+  EXPECT_EQ(snap.slo_breaches, 0u);
+  EXPECT_EQ(snap.slo_breached_sessions, 0u);
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+struct Rig {
+  ManualClock clock;
+  pose::PoseDbnClassifier classifier;
+  synth::Clip clip = mini_clip();
+  std::unique_ptr<ingest::IngestService> service;
+
+  explicit Rig(unsigned workers = 2) {
+    ingest::IngestServiceConfig config;
+    config.manager.workers = workers;
+    config.router.clock = clock.fn();
+    service = std::make_unique<ingest::IngestService>(classifier, core::PipelineParams{}, config);
+  }
+
+  ingest::IngestSessionConfig session_config(std::size_t capacity = 2) {
+    ingest::IngestSessionConfig config;
+    config.queue.capacity = capacity;
+    config.queue.policy = ingest::BackpressurePolicy::kDropOldest;
+    return config;
+  }
+
+  /// One deterministic round: pushes per session, clock advance, inline
+  /// drain (scheduler stopped) — the cmd_record recipe.
+  void round(const std::vector<int>& ids, int pushes, std::vector<std::size_t>& next) {
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      for (int k = 0; k < pushes; ++k) {
+        service->push(ids[s], clip.frames[next[s] % clip.frames.size()]);
+        ++next[s];
+      }
+    }
+    clock.advance(16ms);
+    service->flush();
+  }
+};
+
+void expect_replays_identically(const std::string& path, const pose::PoseDbnClassifier& classifier,
+                                std::uint64_t expect_frames) {
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    replay::ReplayOptions options;
+    options.workers = workers;
+    const replay::ReplayResult result =
+        replay::TraceReplayer(classifier, {}, options).replay_file(path);
+    EXPECT_TRUE(result.identical()) << "workers " << workers << ": " << result.first_mismatch();
+    EXPECT_EQ(result.frames_replayed, expect_frames) << "workers " << workers;
+  }
+}
+
+TEST(FlightRecorder, LiveDumpReplaysIdenticallyAcrossWorkers) {
+  Rig rig;
+  FlightRecorder recorder;
+  rig.service->set_tap(&recorder);
+
+  const auto session_config = rig.session_config();
+  std::vector<int> ids;
+  for (int s = 0; s < 3; ++s) {
+    ids.push_back(rig.service->open_session(rig.clip.background, session_config));
+  }
+  std::vector<std::size_t> next{0, 3, 6};  // staggered feeds
+  // 3 pushes into capacity-2 queues: drop-oldest sheds one per round, so the
+  // dump must reproduce replaced frames, not just clean deliveries.
+  for (int r = 0; r < 6; ++r) rig.round(ids, 3, next);
+  for (const int id : ids) rig.service->close_session(id);
+
+  const std::string path = temp_path("flight_closed.sljtrace");
+  const FlightRecorder::DumpStats stats = recorder.dump(path);
+  EXPECT_EQ(stats.sessions, 3u);
+  EXPECT_EQ(stats.closes, 3u);
+  EXPECT_EQ(stats.pushes, 3u * 6u * 3u);
+  EXPECT_EQ(stats.truncated_sessions, 0u);
+  EXPECT_TRUE(stats.has_summary);  // quiescent plane: totals balance
+
+  const ingest::IngestMetricsSnapshot end = rig.service->metrics();
+  expect_replays_identically(path, rig.classifier, end.delivered);
+}
+
+TEST(FlightRecorder, DumpWithSessionsStillOpenIsValid) {
+  Rig rig;
+  FlightRecorder recorder;
+  rig.service->set_tap(&recorder);
+
+  std::vector<int> ids;
+  for (int s = 0; s < 2; ++s) {
+    ids.push_back(rig.service->open_session(rig.clip.background, rig.session_config(4)));
+  }
+  std::vector<std::size_t> next{0, 5};
+  for (int r = 0; r < 4; ++r) rig.round(ids, 2, next);
+
+  // No close records: the plane is mid-flight but flushed, so the dump is
+  // structurally complete and still balances.
+  const std::string path = temp_path("flight_open.sljtrace");
+  const FlightRecorder::DumpStats stats = recorder.dump(path);
+  EXPECT_EQ(stats.sessions, 2u);
+  EXPECT_EQ(stats.closes, 0u);
+  EXPECT_TRUE(stats.has_summary);
+  EXPECT_GT(stats.span_ns, 0);
+
+  const ingest::IngestMetricsSnapshot end = rig.service->metrics();
+  expect_replays_identically(path, rig.classifier, end.delivered);
+  for (const int id : ids) rig.service->close_session(id);
+}
+
+TEST(FlightRecorder, WindowEvictsClosedSessions) {
+  Rig rig;
+  FlightRecorderConfig config;
+  config.window_ns = std::chrono::nanoseconds(1s).count();
+  FlightRecorder recorder(config);
+  rig.service->set_tap(&recorder);
+
+  const int early = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> next{0};
+  rig.round({early}, 2, next);
+  rig.service->close_session(early);
+  EXPECT_EQ(recorder.sessions(), 1u);
+
+  // A later session far outside the window pushes the closed one out.
+  rig.clock.advance(5s);
+  const int late = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> late_next{0};
+  rig.round({late}, 2, late_next);
+  EXPECT_EQ(recorder.sessions(), 1u);
+  EXPECT_EQ(recorder.evicted_sessions(), 1u);
+
+  const std::string path = temp_path("flight_window.sljtrace");
+  const FlightRecorder::DumpStats stats = recorder.dump(path);
+  EXPECT_EQ(stats.sessions, 1u);  // only the live session remains
+  EXPECT_EQ(stats.closes, 0u);
+  expect_replays_identically(path, rig.classifier, 2);
+  rig.service->close_session(late);
+}
+
+TEST(FlightRecorder, ByteBudgetTaintsOldestOpenSession) {
+  Rig rig;
+  FlightRecorderConfig config;
+  // Two 96x64 backgrounds (~18 KiB each) fit; the first admitted frames
+  // overflow, forcing the recorder to shed the longest-running open session.
+  config.max_bytes = 48u << 10;
+  FlightRecorder recorder(config);
+  rig.service->set_tap(&recorder);
+
+  const int a = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  const int b = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> next{0, 5};
+  for (int r = 0; r < 3; ++r) rig.round({a, b}, 2, next);
+
+  EXPECT_GE(recorder.evicted_sessions(), 1u);
+  EXPECT_LT(recorder.sessions(), 2u);
+
+  // The dump only ever contains complete-from-open sessions, so whatever
+  // survived the shed still replays cleanly.
+  const std::string path = temp_path("flight_budget.sljtrace");
+  const FlightRecorder::DumpStats stats = recorder.dump(path);
+  EXPECT_EQ(stats.sessions, recorder.sessions());
+  EXPECT_EQ(stats.truncated_sessions, 0u);
+  replay::ReplayOptions options;
+  options.workers = 2;
+  const replay::ReplayResult result =
+      replay::TraceReplayer(rig.classifier, {}, options).replay_file(path);
+  EXPECT_TRUE(result.identical()) << result.first_mismatch();
+  rig.service->close_session(a);
+  rig.service->close_session(b);
+}
+
+// ---- service monitor -------------------------------------------------------
+
+TEST(ServiceMonitor, ForcedBreachProducesReplayableIncidentOnce) {
+  TracerGuard tracer_guard(false);  // the monitor flips it on; guard restores
+  Rig rig;
+  ServiceMonitorConfig config;
+  config.slo.p99_budget_ms = 0.001;  // 16 ms manual-clock latency always breaches
+  config.slo.breach_after = 1;
+  config.incident_dir = ::testing::TempDir();
+  config.max_incidents = 2;
+  ServiceMonitor monitor(*rig.service, config);
+  EXPECT_TRUE(Tracer::instance().enabled());
+
+  const int id = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> next{0};
+  for (int r = 0; r < 3; ++r) rig.round({id}, 2, next);
+
+  const ingest::IngestMetricsSnapshot snap = monitor.poll();
+  EXPECT_STREQ(snap.sessions[0].slo_state, "breach");
+  EXPECT_EQ(snap.slo_breached_sessions, 1u);
+  ASSERT_EQ(monitor.incident_paths().size(), 1u);
+  const std::string path = monitor.incident_paths()[0];
+  EXPECT_TRUE(std::filesystem::exists(path));
+  expect_replays_identically(path, rig.classifier, snap.delivered);
+  // The breach edge fired a tracer instant alongside the dump.
+  EXPECT_GE(count_events(Tracer::instance().snapshot(), "slo.breach"), 1u);
+
+  // Still breached on the next poll: latched, so no second incident.
+  rig.round({id}, 2, next);
+  monitor.poll();
+  EXPECT_EQ(monitor.incidents(), 1u);
+  EXPECT_EQ(monitor.incident_paths().size(), 1u);
+  rig.service->close_session(id);
+}
+
+TEST(ServiceMonitor, ExplicitTriggerHonorsIncidentCap) {
+  TracerGuard tracer_guard(false);
+  Rig rig;
+  ServiceMonitorConfig config;
+  config.incident_dir = ::testing::TempDir();
+  config.max_incidents = 1;
+  ServiceMonitor monitor(*rig.service, config);
+
+  const int id = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> next{0};
+  rig.round({id}, 2, next);
+
+  const std::string first = monitor.trigger_incident("signal");
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(std::filesystem::exists(first));
+  EXPECT_EQ(monitor.trigger_incident("signal"), "");  // cap reached
+  EXPECT_EQ(monitor.incidents(), 1u);
+  rig.service->close_session(id);
+}
+
+// ---- snapshot stamps and per-session latency rows --------------------------
+
+TEST(IngestMetrics, SnapshotSequenceAndWallClockAreMonotonic) {
+  Rig rig;
+  const ingest::IngestMetricsSnapshot first = rig.service->metrics();
+  const ingest::IngestMetricsSnapshot second = rig.service->metrics();
+  EXPECT_GT(first.sequence, 0u);
+  EXPECT_GT(second.sequence, first.sequence);
+  EXPECT_GT(first.wall_ms, 0);
+  EXPECT_GE(second.wall_ms, first.wall_ms);
+  // The stamps land in the JSON dashboards poll.
+  EXPECT_NE(first.to_json().find("\"sequence\": "), std::string::npos);
+  EXPECT_NE(first.to_json().find("\"wall_ms\": "), std::string::npos);
+}
+
+TEST(IngestMetrics, PerSessionRowsCarryLatencyQuantiles) {
+  Rig rig;
+  const int id = rig.service->open_session(rig.clip.background, rig.session_config(4));
+  std::vector<std::size_t> next{0};
+  for (int r = 0; r < 4; ++r) rig.round({id}, 2, next);
+
+  const ingest::IngestMetricsSnapshot snap = rig.service->metrics();
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  const ingest::SessionMetricsSnapshot& row = snap.sessions[0];
+  EXPECT_EQ(row.delivered, 8u);
+  // Manual clock: every delivery is one 16 ms round old.
+  EXPECT_GT(row.latency_p50_ms, 0.0);
+  EXPECT_LE(row.latency_p50_ms, row.latency_p99_ms);
+  EXPECT_NE(snap.to_json().find("\"slo_state\": \"untracked\""), std::string::npos);
+  rig.service->close_session(id);
+}
+
+}  // namespace
+}  // namespace slj::obs
